@@ -1,0 +1,115 @@
+//! Microbenchmarks of the protocol hot paths: wire-header codec, matching
+//! queues, the event heap, and the engine's context-switch cost.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use viampi_core::matching::{MatchEngine, PostedRecv, Unexpected, UnexpectedBody};
+use viampi_core::protocol::{Header, MsgKind};
+use viampi_sim::{Engine, EventQueue, SimDuration, SimTime, SplitMix64};
+
+fn bench_header_codec(c: &mut Criterion) {
+    let h = Header {
+        kind: MsgKind::Eager,
+        credits: 3,
+        context: 1,
+        src: 17,
+        tag: 42,
+        aux1: 0xABCD,
+        aux2: 0x1234_5678,
+        len: 4096,
+    };
+    c.bench_function("header_encode", |b| {
+        let mut buf = [0u8; 32];
+        b.iter(|| {
+            h.encode(black_box(&mut buf));
+            black_box(buf);
+        })
+    });
+    let bytes = h.to_bytes();
+    c.bench_function("header_decode", |b| {
+        b.iter(|| Header::decode(black_box(&bytes)).unwrap())
+    });
+}
+
+fn bench_matching(c: &mut Criterion) {
+    c.bench_function("match_post_and_consume_64", |b| {
+        b.iter(|| {
+            let mut m = MatchEngine::new();
+            for i in 0..64u64 {
+                m.post_recv(PostedRecv {
+                    req: i,
+                    context: 0,
+                    src: Some((i % 8) as u32),
+                    tag: Some(i as i32),
+                });
+            }
+            for i in 0..64u64 {
+                black_box(m.incoming(0, (i % 8) as u32, i as i32));
+            }
+        })
+    });
+    c.bench_function("match_unexpected_scan_64", |b| {
+        b.iter(|| {
+            let mut m = MatchEngine::new();
+            for i in 0..64u32 {
+                m.push_unexpected(Unexpected {
+                    context: 0,
+                    src: i % 8,
+                    tag: i as i32,
+                    body: UnexpectedBody::Eager(vec![0u8; 16]),
+                });
+            }
+            for i in (0..64u64).rev() {
+                black_box(m.post_recv(PostedRecv {
+                    req: i,
+                    context: 0,
+                    src: Some((i % 8) as u32),
+                    tag: Some(i as i32),
+                }));
+            }
+        })
+    });
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_1k", |b| {
+        let mut rng = SplitMix64::new(7);
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1000u64 {
+                q.push(SimTime(rng.next_below(1_000_000)), i);
+            }
+            while let Some(e) = q.pop() {
+                black_box(e);
+            }
+        })
+    });
+}
+
+fn bench_engine_switch(c: &mut Criterion) {
+    // Cost of one advance() round-trip through the scheduler.
+    struct Nop;
+    impl viampi_sim::World for Nop {
+        type Event = ();
+        fn handle_event(&mut self, _: (), _: &mut viampi_sim::Api<'_, ()>) {}
+    }
+    c.bench_function("engine_1k_advances", |b| {
+        b.iter(|| {
+            let mut eng = Engine::new(Nop);
+            eng.spawn("p", |ctx| {
+                for _ in 0..1000 {
+                    ctx.advance(SimDuration::nanos(10));
+                }
+            });
+            eng.run().unwrap()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_header_codec,
+    bench_matching,
+    bench_event_queue,
+    bench_engine_switch
+);
+criterion_main!(benches);

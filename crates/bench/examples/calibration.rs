@@ -1,0 +1,38 @@
+//! Calibration anchors: prints the handful of absolute numbers the device
+//! profiles are tuned against (DESIGN.md §2) so a profile change can be
+//! sanity-checked at a glance.
+//!
+//! ```text
+//! cargo run --release -p viampi-bench --example calibration
+//! ```
+
+use viampi_bench::micro::{bandwidth, pingpong_latency, via_latency_with_idle_vis};
+use viampi_core::{ConnMode::*, Device::*, Universe, WaitPolicy};
+use viampi_npb::llc;
+use viampi_via::DeviceProfile;
+
+fn main() {
+    println!("anchor                              target        measured");
+    println!("-----------------------------------------------------------");
+    let raw_c = via_latency_with_idle_vis(DeviceProfile::clan(), 4, 0);
+    println!("cLAN raw VIA 4B latency             ~7-10us       {raw_c:.2}us");
+    let raw_b = via_latency_with_idle_vis(DeviceProfile::berkeley(), 4, 0);
+    println!("BVIA raw VIA 4B latency             ~25-35us      {raw_b:.2}us");
+    let l_c = pingpong_latency(Clan, StaticPeerToPeer, WaitPolicy::Polling, 4, 100);
+    println!("cLAN MPI 4B latency                 ~9-10us       {l_c:.2}us");
+    let l_b = pingpong_latency(Berkeley, StaticPeerToPeer, WaitPolicy::Polling, 4, 100);
+    println!("BVIA MPI 4B latency                 ~30-40us      {l_b:.2}us");
+    let bw = bandwidth(Clan, OnDemand, WaitPolicy::Polling, 262_144, 10, 4);
+    println!("cLAN 256KiB bandwidth               ~100-110MB/s  {bw:.1}MB/s");
+    let below = bandwidth(Clan, OnDemand, WaitPolicy::Polling, 4999, 10, 8);
+    let above = bandwidth(Clan, OnDemand, WaitPolicy::Polling, 5001, 10, 8);
+    println!("eager->rndv dip at 5000B            below>above   {below:.1} -> {above:.1}MB/s");
+    for (name, conn) in [("static", StaticPeerToPeer), ("on-demand", OnDemand)] {
+        let r = Universe::new(8, Berkeley, conn, WaitPolicy::Polling)
+            .run(|mpi| llc::barrier_latency(mpi, 300))
+            .unwrap();
+        let v = r.results[0].unwrap();
+        let target = if conn == OnDemand { "161us" } else { "196us" };
+        println!("BVIA barrier np=8 {name:<10}        paper {target}   {v:.1}us");
+    }
+}

@@ -1,0 +1,13 @@
+//! Runs the four design-choice ablations from DESIGN.md.
+fn main() {
+    let (a, _) = viampi_bench::ablation::spincount(8);
+    println!("{a}");
+    let (b, _) = viampi_bench::ablation::eager_threshold();
+    println!("{b}");
+    let (c, _) = viampi_bench::ablation::credits();
+    println!("{c}");
+    let (d, _) = viampi_bench::ablation::per_vi_cost();
+    println!("{d}");
+    let (e, _) = viampi_bench::ablation::dynamic_window();
+    println!("{e}");
+}

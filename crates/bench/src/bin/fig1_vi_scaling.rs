@@ -1,0 +1,5 @@
+//! Regenerates the paper's Figure 1 (BVIA latency vs active VIs).
+fn main() {
+    let (text, _) = viampi_bench::experiments::fig1();
+    println!("{text}");
+}

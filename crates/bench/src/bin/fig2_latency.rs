@@ -1,0 +1,5 @@
+//! Regenerates the paper's Figure 2 (latency vs message size).
+fn main() {
+    let (text, _) = viampi_bench::experiments::fig2();
+    println!("{text}");
+}

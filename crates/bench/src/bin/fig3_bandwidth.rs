@@ -1,0 +1,5 @@
+//! Regenerates the paper's Figure 3 (bandwidth vs message size).
+fn main() {
+    let (text, _) = viampi_bench::experiments::fig3();
+    println!("{text}");
+}

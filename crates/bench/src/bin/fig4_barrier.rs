@@ -1,0 +1,5 @@
+//! Regenerates the paper's Figure 4 (barrier latency vs process count).
+fn main() {
+    let (text, _) = viampi_bench::experiments::fig4();
+    println!("{text}");
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's Figure 5 (allreduce latency vs process count).
+fn main() {
+    let (text, _) = viampi_bench::experiments::fig5();
+    println!("{text}");
+}

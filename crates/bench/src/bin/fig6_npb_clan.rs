@@ -1,0 +1,7 @@
+//! Regenerates the paper's Figure 6 (NPB on cLAN, normalized CPU time).
+use viampi_bench::experiments::{fig6_instances, npb_figure};
+use viampi_core::Device;
+fn main() {
+    let (text, _) = npb_figure("fig6_npb_clan", Device::Clan, &fig6_instances());
+    println!("{text}");
+}

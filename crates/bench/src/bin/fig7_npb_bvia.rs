@@ -1,0 +1,7 @@
+//! Regenerates the paper's Figure 7 (NPB on Berkeley VIA).
+use viampi_bench::experiments::{fig7_instances, npb_figure};
+use viampi_core::Device;
+fn main() {
+    let (text, _) = npb_figure("fig7_npb_bvia", Device::Berkeley, &fig7_instances());
+    println!("{text}");
+}

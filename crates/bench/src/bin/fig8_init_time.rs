@@ -1,0 +1,5 @@
+//! Regenerates the paper's Figure 8 (MPI_Init time vs process count).
+fn main() {
+    let (text, _) = viampi_bench::experiments::fig8();
+    println!("{text}");
+}

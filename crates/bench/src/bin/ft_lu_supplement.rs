@@ -1,0 +1,8 @@
+//! Supplementary experiment: FT and LU (the NPB programs the paper lists
+//! but does not plot) under every cLAN configuration.
+use viampi_bench::experiments::{npb_figure, supplement_instances};
+use viampi_core::Device;
+fn main() {
+    let (text, _) = npb_figure("ft_lu_supplement", Device::Clan, &supplement_instances());
+    println!("{text}");
+}

@@ -1,0 +1,51 @@
+//! Runs every experiment in sequence, printing each table/series and
+//! refreshing `results/*.json`. This is the one-shot paper reproduction.
+use viampi_bench::{ablation, experiments};
+use viampi_core::Device;
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    println!("== viampi paper reproduction: all experiments ==\n");
+    let (s, _) = experiments::fig1();
+    println!("{s}");
+    let (s, _) = experiments::tab1();
+    println!("{s}");
+    let (s, _) = experiments::tab2(&[16, 32]);
+    println!("{s}");
+    let (s, _) = experiments::fig2();
+    println!("{s}");
+    let (s, _) = experiments::fig3();
+    println!("{s}");
+    let (s, _) = experiments::fig4();
+    println!("{s}");
+    let (s, _) = experiments::fig5();
+    println!("{s}");
+    let (s, _) = experiments::npb_figure(
+        "fig6_npb_clan",
+        Device::Clan,
+        &experiments::fig6_instances(),
+    );
+    println!("{s}");
+    let (s, _) = experiments::npb_figure(
+        "fig7_npb_bvia",
+        Device::Berkeley,
+        &experiments::fig7_instances(),
+    );
+    println!("{s}");
+    let (s, _) = experiments::fig8();
+    println!("{s}");
+    let (s, _) = ablation::spincount(8);
+    println!("{s}");
+    let (s, _) = ablation::eager_threshold();
+    println!("{s}");
+    let (s, _) = ablation::credits();
+    println!("{s}");
+    let (s, _) = ablation::per_vi_cost();
+    println!("{s}");
+    let (s, _) = ablation::dynamic_window();
+    println!("{s}");
+    println!(
+        "\nall experiments regenerated in {:.1}s (wall); JSON written to results/",
+        t0.elapsed().as_secs_f64()
+    );
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's Table 1 (distinct destinations per process).
+fn main() {
+    let (text, _) = viampi_bench::experiments::tab1();
+    println!("{text}");
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's Table 2 (VIs and resource utilization).
+fn main() {
+    let (text, _) = viampi_bench::experiments::tab2(&[16, 32]);
+    println!("{text}");
+}

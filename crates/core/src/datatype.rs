@@ -1,0 +1,152 @@
+//! Minimal datatype support: conversions between typed slices and wire
+//! bytes, and the reduction operators the benchmarks use.
+
+/// Reduction operators (`MPI_SUM`, `MPI_MIN`, `MPI_MAX`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Elementwise sum.
+    Sum,
+    /// Elementwise minimum.
+    Min,
+    /// Elementwise maximum.
+    Max,
+}
+
+/// A fixed-width scalar that can cross the simulated wire.
+pub trait Scalar: Copy + PartialEq + std::fmt::Debug + Send + 'static {
+    /// Wire width in bytes.
+    const WIDTH: usize;
+    /// Serialize one value.
+    fn write(self, out: &mut Vec<u8>);
+    /// Deserialize one value from exactly `WIDTH` bytes.
+    fn read(buf: &[u8]) -> Self;
+    /// Apply a reduction operator.
+    fn reduce(op: ReduceOp, a: Self, b: Self) -> Self;
+}
+
+impl Scalar for f64 {
+    const WIDTH: usize = 8;
+    fn write(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn read(buf: &[u8]) -> Self {
+        f64::from_le_bytes(buf[..8].try_into().unwrap())
+    }
+    fn reduce(op: ReduceOp, a: Self, b: Self) -> Self {
+        match op {
+            ReduceOp::Sum => a + b,
+            ReduceOp::Min => a.min(b),
+            ReduceOp::Max => a.max(b),
+        }
+    }
+}
+
+impl Scalar for i64 {
+    const WIDTH: usize = 8;
+    fn write(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn read(buf: &[u8]) -> Self {
+        i64::from_le_bytes(buf[..8].try_into().unwrap())
+    }
+    fn reduce(op: ReduceOp, a: Self, b: Self) -> Self {
+        match op {
+            ReduceOp::Sum => a.wrapping_add(b),
+            ReduceOp::Min => a.min(b),
+            ReduceOp::Max => a.max(b),
+        }
+    }
+}
+
+impl Scalar for u32 {
+    const WIDTH: usize = 4;
+    fn write(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn read(buf: &[u8]) -> Self {
+        u32::from_le_bytes(buf[..4].try_into().unwrap())
+    }
+    fn reduce(op: ReduceOp, a: Self, b: Self) -> Self {
+        match op {
+            ReduceOp::Sum => a.wrapping_add(b),
+            ReduceOp::Min => a.min(b),
+            ReduceOp::Max => a.max(b),
+        }
+    }
+}
+
+/// Serialize a typed slice.
+pub fn to_bytes<T: Scalar>(vals: &[T]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(vals.len() * T::WIDTH);
+    for &v in vals {
+        v.write(&mut out);
+    }
+    out
+}
+
+/// Deserialize a typed vector.
+pub fn from_bytes<T: Scalar>(buf: &[u8]) -> Vec<T> {
+    assert_eq!(
+        buf.len() % T::WIDTH,
+        0,
+        "byte length {} not a multiple of scalar width {}",
+        buf.len(),
+        T::WIDTH
+    );
+    buf.chunks_exact(T::WIDTH).map(T::read).collect()
+}
+
+/// Elementwise in-place reduction: `acc[i] = op(acc[i], other[i])`.
+pub fn reduce_into<T: Scalar>(op: ReduceOp, acc: &mut [T], other: &[T]) {
+    assert_eq!(acc.len(), other.len(), "reduction length mismatch");
+    for (a, &b) in acc.iter_mut().zip(other) {
+        *a = T::reduce(op, *a, b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_roundtrip() {
+        let v = vec![1.5, -2.25, f64::MAX, 0.0, f64::MIN_POSITIVE];
+        assert_eq!(from_bytes::<f64>(&to_bytes(&v)), v);
+    }
+
+    #[test]
+    fn i64_roundtrip() {
+        let v = vec![i64::MIN, -1, 0, 1, i64::MAX];
+        assert_eq!(from_bytes::<i64>(&to_bytes(&v)), v);
+    }
+
+    #[test]
+    fn u32_roundtrip() {
+        let v = vec![0u32, 1, u32::MAX];
+        assert_eq!(from_bytes::<u32>(&to_bytes(&v)), v);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn misaligned_bytes_rejected() {
+        from_bytes::<f64>(&[0u8; 7]);
+    }
+
+    #[test]
+    fn reduce_ops() {
+        let mut acc = vec![1.0, 5.0, -3.0];
+        reduce_into(ReduceOp::Sum, &mut acc, &[1.0, 1.0, 1.0]);
+        assert_eq!(acc, vec![2.0, 6.0, -2.0]);
+        reduce_into(ReduceOp::Max, &mut acc, &[0.0, 10.0, 0.0]);
+        assert_eq!(acc, vec![2.0, 10.0, 0.0]);
+        reduce_into(ReduceOp::Min, &mut acc, &[5.0, 5.0, -5.0]);
+        assert_eq!(acc, vec![2.0, 5.0, -5.0]);
+    }
+
+    #[test]
+    fn integer_sum_wraps_not_panics() {
+        let mut acc = vec![i64::MAX];
+        reduce_into(ReduceOp::Sum, &mut acc, &[1]);
+        assert_eq!(acc, vec![i64::MIN]);
+    }
+}

@@ -1,0 +1,263 @@
+//! MPI message matching: the posted-receive queue and the unexpected-message
+//! queue, with `MPI_ANY_SOURCE` / `MPI_ANY_TAG` wildcards.
+//!
+//! Matching follows the MPI rules MPICH implements:
+//!
+//! * an incoming message is matched against posted receives **in the order
+//!   the receives were posted**;
+//! * a newly posted receive is matched against unexpected messages **in the
+//!   order they arrived**;
+//! * together with in-order per-VI delivery this yields the non-overtaking
+//!   guarantee of MPI §3.5 that the paper's pre-posted-send FIFO preserves.
+
+use std::collections::VecDeque;
+
+/// A receive waiting for a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PostedRecv {
+    /// Owning request id.
+    pub req: u64,
+    /// Communicator context.
+    pub context: u16,
+    /// Source rank, or `None` for `MPI_ANY_SOURCE`.
+    pub src: Option<u32>,
+    /// Tag, or `None` for `MPI_ANY_TAG`.
+    pub tag: Option<i32>,
+}
+
+impl PostedRecv {
+    fn matches(&self, context: u16, src: u32, tag: i32) -> bool {
+        self.context == context
+            && self.src.is_none_or(|s| s == src)
+            && self.tag.is_none_or(|t| t == tag)
+    }
+}
+
+/// Payload of a message that arrived before its receive was posted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UnexpectedBody {
+    /// Eager data, already copied out of the VI buffer.
+    Eager(Vec<u8>),
+    /// A rendezvous RTS awaiting a matching receive before CTS is sent.
+    Rts {
+        /// Sender's request id (echoed in the CTS).
+        sreq: u64,
+        /// Full message length.
+        len: usize,
+    },
+}
+
+/// An unexpected (early) message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Unexpected {
+    /// Communicator context.
+    pub context: u16,
+    /// Sending rank.
+    pub src: u32,
+    /// Tag.
+    pub tag: i32,
+    /// Eager payload or pending RTS.
+    pub body: UnexpectedBody,
+}
+
+/// The two matching queues of one rank.
+#[derive(Debug, Default)]
+pub struct MatchEngine {
+    posted: VecDeque<PostedRecv>,
+    unexpected: VecDeque<Unexpected>,
+}
+
+impl MatchEngine {
+    /// Empty engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Post a receive. If an unexpected message already matches, it is
+    /// removed and returned (the receive completes immediately); otherwise
+    /// the receive is queued.
+    pub fn post_recv(&mut self, entry: PostedRecv) -> Option<Unexpected> {
+        let pos = self
+            .unexpected
+            .iter()
+            .position(|u| entry.matches(u.context, u.src, u.tag));
+        match pos {
+            Some(i) => self.unexpected.remove(i),
+            None => {
+                self.posted.push_back(entry);
+                None
+            }
+        }
+    }
+
+    /// An incoming message header: match the oldest posted receive, if any.
+    pub fn incoming(&mut self, context: u16, src: u32, tag: i32) -> Option<PostedRecv> {
+        let pos = self
+            .posted
+            .iter()
+            .position(|p| p.matches(context, src, tag));
+        pos.and_then(|i| self.posted.remove(i))
+    }
+
+    /// Queue an unexpected message.
+    pub fn push_unexpected(&mut self, u: Unexpected) {
+        self.unexpected.push_back(u);
+    }
+
+    /// Non-destructive probe for `MPI_Probe`/`MPI_Iprobe`: the oldest
+    /// unexpected message matching the selector.
+    pub fn probe(&self, context: u16, src: Option<u32>, tag: Option<i32>) -> Option<&Unexpected> {
+        self.unexpected.iter().find(|u| {
+            u.context == context
+                && src.is_none_or(|s| s == u.src)
+                && tag.is_none_or(|t| t == u.tag)
+        })
+    }
+
+    /// Remove a posted receive (for `MPI_Cancel`-style cleanup in tests).
+    pub fn cancel_posted(&mut self, req: u64) -> bool {
+        let pos = self.posted.iter().position(|p| p.req == req);
+        pos.map(|i| self.posted.remove(i)).is_some()
+    }
+
+    /// Outstanding posted receives.
+    pub fn posted_len(&self) -> usize {
+        self.posted.len()
+    }
+
+    /// Queued unexpected messages.
+    pub fn unexpected_len(&self) -> usize {
+        self.unexpected.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn recv(req: u64, src: Option<u32>, tag: Option<i32>) -> PostedRecv {
+        PostedRecv {
+            req,
+            context: 0,
+            src,
+            tag,
+        }
+    }
+
+    fn eager(src: u32, tag: i32, byte: u8) -> Unexpected {
+        Unexpected {
+            context: 0,
+            src,
+            tag,
+            body: UnexpectedBody::Eager(vec![byte]),
+        }
+    }
+
+    #[test]
+    fn exact_match_consumes_posted() {
+        let mut m = MatchEngine::new();
+        assert!(m.post_recv(recv(1, Some(3), Some(9))).is_none());
+        assert_eq!(m.incoming(0, 3, 9).unwrap().req, 1);
+        assert!(m.incoming(0, 3, 9).is_none(), "consumed");
+    }
+
+    #[test]
+    fn wildcards_match_anything() {
+        let mut m = MatchEngine::new();
+        m.post_recv(recv(1, None, None));
+        assert_eq!(m.incoming(0, 12, -7).unwrap().req, 1);
+    }
+
+    #[test]
+    fn src_wildcard_tag_exact() {
+        let mut m = MatchEngine::new();
+        m.post_recv(recv(1, None, Some(5)));
+        assert!(m.incoming(0, 2, 6).is_none(), "tag mismatch");
+        assert_eq!(m.incoming(0, 2, 5).unwrap().req, 1);
+    }
+
+    #[test]
+    fn context_separates_traffic() {
+        let mut m = MatchEngine::new();
+        m.post_recv(PostedRecv {
+            req: 1,
+            context: 1,
+            src: None,
+            tag: None,
+        });
+        assert!(m.incoming(0, 0, 0).is_none(), "context 0 ≠ context 1");
+        assert_eq!(m.incoming(1, 0, 0).unwrap().req, 1);
+    }
+
+    #[test]
+    fn posted_receives_match_in_post_order() {
+        let mut m = MatchEngine::new();
+        m.post_recv(recv(1, Some(0), None));
+        m.post_recv(recv(2, Some(0), None));
+        assert_eq!(m.incoming(0, 0, 5).unwrap().req, 1);
+        assert_eq!(m.incoming(0, 0, 5).unwrap().req, 2);
+    }
+
+    #[test]
+    fn specific_posted_before_wildcard_wins() {
+        let mut m = MatchEngine::new();
+        m.post_recv(recv(1, Some(4), Some(4)));
+        m.post_recv(recv(2, None, None));
+        assert_eq!(m.incoming(0, 4, 4).unwrap().req, 1);
+        // The wildcard is still there for others.
+        assert_eq!(m.incoming(0, 9, 9).unwrap().req, 2);
+    }
+
+    #[test]
+    fn unexpected_match_in_arrival_order() {
+        let mut m = MatchEngine::new();
+        m.push_unexpected(eager(0, 1, 0xA));
+        m.push_unexpected(eager(0, 1, 0xB));
+        let u = m.post_recv(recv(1, Some(0), Some(1))).unwrap();
+        assert_eq!(u.body, UnexpectedBody::Eager(vec![0xA]), "oldest first");
+        let u = m.post_recv(recv(2, Some(0), Some(1))).unwrap();
+        assert_eq!(u.body, UnexpectedBody::Eager(vec![0xB]));
+        assert_eq!(m.unexpected_len(), 0);
+    }
+
+    #[test]
+    fn wildcard_recv_takes_oldest_across_sources() {
+        let mut m = MatchEngine::new();
+        m.push_unexpected(eager(5, 1, 0xA));
+        m.push_unexpected(eager(2, 1, 0xB));
+        let u = m.post_recv(recv(1, None, None)).unwrap();
+        assert_eq!(u.src, 5, "arrival order, not source order");
+    }
+
+    #[test]
+    fn probe_is_non_destructive() {
+        let mut m = MatchEngine::new();
+        m.push_unexpected(eager(3, 7, 0xC));
+        assert!(m.probe(0, Some(3), Some(7)).is_some());
+        assert!(m.probe(0, Some(3), Some(8)).is_none());
+        assert!(m.probe(0, None, None).is_some());
+        assert_eq!(m.unexpected_len(), 1, "probe must not consume");
+    }
+
+    #[test]
+    fn rts_bodies_flow_through_unexpected() {
+        let mut m = MatchEngine::new();
+        m.push_unexpected(Unexpected {
+            context: 0,
+            src: 1,
+            tag: 2,
+            body: UnexpectedBody::Rts { sreq: 77, len: 1 << 20 },
+        });
+        let u = m.post_recv(recv(9, Some(1), Some(2))).unwrap();
+        assert_eq!(u.body, UnexpectedBody::Rts { sreq: 77, len: 1 << 20 });
+    }
+
+    #[test]
+    fn cancel_posted_removes_entry() {
+        let mut m = MatchEngine::new();
+        m.post_recv(recv(1, Some(0), Some(0)));
+        assert!(m.cancel_posted(1));
+        assert!(!m.cancel_posted(1));
+        assert!(m.incoming(0, 0, 0).is_none());
+    }
+}

@@ -1,0 +1,64 @@
+//! MPI request handles and completion status.
+
+/// Handle to a nonblocking operation. Obtained from `isend`/`irecv`-style
+/// calls and redeemed with `wait`/`test`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Request(pub(crate) u64);
+
+/// Completion information of a receive (or probe).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Status {
+    /// Rank of the sender.
+    pub source: usize,
+    /// Tag of the matched message.
+    pub tag: i32,
+    /// Number of bytes received.
+    pub len: usize,
+}
+
+impl Status {
+    pub(crate) fn empty() -> Status {
+        Status {
+            source: usize::MAX,
+            tag: -1,
+            len: 0,
+        }
+    }
+}
+
+/// Send discipline, per MPI §3.4 communication modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendMode {
+    /// Standard: the library chooses eager (buffered, local completion at
+    /// descriptor completion) or rendezvous (non-local).
+    Standard,
+    /// Synchronous: completes only after the matching receive started —
+    /// implemented by forcing the rendezvous handshake.
+    Synchronous,
+    /// Buffered: completes locally as soon as the payload is captured.
+    Buffered,
+    /// Ready: caller asserts the matching receive is already posted; the
+    /// transfer uses the standard path.
+    Ready,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_empty_is_recognizable() {
+        let s = Status::empty();
+        assert_eq!(s.source, usize::MAX);
+        assert_eq!(s.len, 0);
+    }
+
+    #[test]
+    fn requests_are_comparable_handles() {
+        let a = Request(1);
+        let b = Request(1);
+        let c = Request(2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,197 @@
+//! `MPI_Comm_split` semantics: group formation, rank translation, traffic
+//! isolation between communicators, and collectives over subgroups.
+
+use viampi_core::{ConnMode, Device, ReduceOp, Universe, WaitPolicy};
+
+fn uni(np: usize) -> Universe {
+    let mut u = Universe::new(np, Device::Clan, ConnMode::OnDemand, WaitPolicy::Polling);
+    u.config_mut().os_noise = false;
+    u
+}
+
+#[test]
+fn split_even_odd_forms_correct_groups() {
+    let report = uni(7)
+        .run(|mpi| {
+            let comm = mpi.comm_split((mpi.rank() % 2) as i64, mpi.rank() as i64);
+            (comm.rank(), comm.size(), comm.world_rank(comm.rank()))
+        })
+        .unwrap();
+    // Evens: world 0,2,4,6 → comm ranks 0..4; odds: 1,3,5 → 0..3.
+    for (world, &(crank, csize, back)) in report.results.iter().enumerate() {
+        assert_eq!(back, world, "world_rank roundtrip");
+        if world % 2 == 0 {
+            assert_eq!(csize, 4);
+            assert_eq!(crank, world / 2);
+        } else {
+            assert_eq!(csize, 3);
+            assert_eq!(crank, world / 2);
+        }
+    }
+}
+
+#[test]
+fn key_controls_ordering_within_color() {
+    let report = uni(4)
+        .run(|mpi| {
+            // Reverse ordering: higher world rank gets lower key.
+            let key = -(mpi.rank() as i64);
+            let comm = mpi.comm_split(0, key);
+            comm.rank()
+        })
+        .unwrap();
+    assert_eq!(report.results, vec![3, 2, 1, 0]);
+}
+
+#[test]
+fn subgroup_collectives_are_independent() {
+    let report = uni(8)
+        .run(|mpi| {
+            let color = (mpi.rank() % 2) as i64;
+            let comm = mpi.comm_split(color, mpi.rank() as i64);
+            // Each group sums its world ranks.
+            let s = comm.allreduce(mpi, &[mpi.rank() as i64], ReduceOp::Sum);
+            comm.barrier(mpi);
+            s[0]
+        })
+        .unwrap();
+    for (world, &sum) in report.results.iter().enumerate() {
+        let want = if world % 2 == 0 { 0 + 2 + 4 + 6 } else { 1 + 3 + 5 + 7 };
+        assert_eq!(sum, want, "world rank {world}");
+    }
+}
+
+#[test]
+fn grid_row_and_column_communicators() {
+    // The classic SP/BT pattern: a 4x4 grid split into row and column
+    // communicators, used simultaneously.
+    let report = uni(16)
+        .run(|mpi| {
+            let (row, col) = (mpi.rank() / 4, mpi.rank() % 4);
+            let row_comm = mpi.comm_split(row as i64, col as i64);
+            let col_comm = mpi.comm_split(col as i64, row as i64);
+            let row_sum = row_comm.allreduce(mpi, &[mpi.rank() as i64], ReduceOp::Sum)[0];
+            let col_sum = col_comm.allreduce(mpi, &[mpi.rank() as i64], ReduceOp::Sum)[0];
+            (row_sum, col_sum)
+        })
+        .unwrap();
+    for (world, &(rs, cs)) in report.results.iter().enumerate() {
+        let (row, col) = (world / 4, world % 4);
+        let want_row: i64 = (0..4).map(|c| (row * 4 + c) as i64).sum();
+        let want_col: i64 = (0..4).map(|r| (r * 4 + col) as i64).sum();
+        assert_eq!((rs, cs), (want_row, want_col), "world {world}");
+    }
+}
+
+#[test]
+fn point_to_point_within_comm_translates_ranks() {
+    let report = uni(6)
+        .run(|mpi| {
+            // Odd ranks form a comm; comm rank 0 (world 1) sends to comm
+            // rank 2 (world 5).
+            if mpi.rank() % 2 == 1 {
+                let comm = mpi.comm_split(1, mpi.rank() as i64);
+                if comm.rank() == 0 {
+                    comm.send(mpi, b"via comm", 2, 4);
+                    0
+                } else if comm.rank() == 2 {
+                    let (d, st) = comm.recv(mpi, Some(0), Some(4));
+                    assert_eq!(&d, b"via comm");
+                    assert_eq!(st.source, 0, "status carries the comm rank");
+                    1
+                } else {
+                    0
+                }
+            } else {
+                mpi.comm_split(0, 0);
+                0
+            }
+        })
+        .unwrap();
+    assert_eq!(report.results[5], 1);
+}
+
+#[test]
+fn same_tags_in_different_comms_do_not_cross_match() {
+    let report = uni(4)
+        .run(|mpi| {
+            // Two overlapping comms: {0,1} and {0,1,2,3}; rank 0 sends on
+            // both with the same tag; rank 1 receives from each comm and
+            // must get the right payloads.
+            let small = mpi.comm_split(if mpi.rank() < 2 { 0 } else { 1 }, mpi.rank() as i64);
+            let big = mpi.comm_split(7, mpi.rank() as i64);
+            match mpi.rank() {
+                0 => {
+                    // Post the big-comm message FIRST so a context mix-up
+                    // would deliver it to the small-comm receive.
+                    big.send(mpi, b"big", 1, 9);
+                    small.send(mpi, b"small", 1, 9);
+                    true
+                }
+                1 => {
+                    let (d1, _) = small.recv(mpi, Some(0), Some(9));
+                    let (d2, _) = big.recv(mpi, Some(0), Some(9));
+                    d1 == b"small" && d2 == b"big"
+                }
+                _ => true,
+            }
+        })
+        .unwrap();
+    assert!(report.results[1], "contexts must isolate communicators");
+}
+
+#[test]
+fn comm_of_one_rank_works() {
+    let report = uni(3)
+        .run(|mpi| {
+            let solo = mpi.comm_split(mpi.rank() as i64, 0);
+            assert_eq!(solo.size(), 1);
+            solo.barrier(mpi);
+            let v = solo.allreduce(mpi, &[41i64], ReduceOp::Sum);
+            let b = solo.bcast(mpi, 0, Some(b"self"));
+            v[0] + b.len() as i64
+        })
+        .unwrap();
+    assert!(report.results.iter().all(|&v| v == 45));
+}
+
+#[test]
+fn nested_splits_allocate_distinct_contexts() {
+    let report = uni(4)
+        .run(|mpi| {
+            let a = mpi.comm_split(0, mpi.rank() as i64);
+            let b = mpi.comm_split(0, mpi.rank() as i64);
+            assert_ne!(a.context(), b.context());
+            // Split the split: evens/odds of comm a.
+            let c = mpi.comm_split((a.rank() % 2) as i64, a.rank() as i64);
+            let s = c.allreduce(mpi, &[1i64], ReduceOp::Sum);
+            s[0]
+        })
+        .unwrap();
+    assert!(report.results.iter().all(|&v| v == 2));
+}
+
+#[test]
+fn comm_gather_scatter_bcast_reduce() {
+    let report = uni(9)
+        .run(|mpi| {
+            let comm = mpi.comm_split((mpi.rank() / 3) as i64, mpi.rank() as i64);
+            // Gather comm ranks to comm root, scatter back doubled.
+            let blocks = comm.gather(mpi, 0, &[comm.rank() as u8]);
+            let doubled: Option<Vec<Vec<u8>>> =
+                blocks.map(|bs| bs.iter().map(|b| vec![b[0] * 2]).collect());
+            let back = comm.scatter(mpi, 0, doubled.as_deref());
+            let r = comm.reduce(mpi, 1, &[comm.rank() as i64], ReduceOp::Max);
+            let m = comm.bcast(
+                mpi,
+                1,
+                r.map(|v| v[0].to_le_bytes().to_vec()).as_deref(),
+            );
+            (back[0], i64::from_le_bytes(m.try_into().unwrap()))
+        })
+        .unwrap();
+    for (world, &(doubled, maxr)) in report.results.iter().enumerate() {
+        assert_eq!(doubled, (world % 3) as u8 * 2);
+        assert_eq!(maxr, 2);
+    }
+}

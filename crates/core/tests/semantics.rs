@@ -1,0 +1,483 @@
+//! MPI point-to-point semantics across connection managers, devices and
+//! wait policies.
+
+use viampi_core::{ConnMode, Device, Universe, WaitPolicy, ANY_SOURCE, ANY_TAG};
+
+fn uni(np: usize, conn: ConnMode) -> Universe {
+    Universe::new(np, Device::Clan, conn, WaitPolicy::Polling)
+}
+
+const ALL_MODES: [ConnMode; 3] = [
+    ConnMode::OnDemand,
+    ConnMode::StaticPeerToPeer,
+    ConnMode::StaticClientServer,
+];
+
+#[test]
+fn two_rank_round_trip_all_modes() {
+    for conn in ALL_MODES {
+        let report = uni(2, conn)
+            .run(|mpi| {
+                if mpi.rank() == 0 {
+                    mpi.send(b"ping", 1, 7);
+                    let (d, st) = mpi.recv(Some(1), Some(8));
+                    assert_eq!(&d, b"pong");
+                    assert_eq!(st.source, 1);
+                    assert_eq!(st.tag, 8);
+                    st.len
+                } else {
+                    let (d, st) = mpi.recv(Some(0), Some(7));
+                    assert_eq!(&d, b"ping");
+                    assert_eq!(st.len, 4);
+                    mpi.send(b"pong", 0, 8);
+                    0
+                }
+            })
+            .unwrap();
+        assert_eq!(report.results[0], 4, "mode {conn:?}");
+    }
+}
+
+#[test]
+fn payload_integrity_across_eager_rendezvous_boundary() {
+    // Sizes straddling the 5000-byte threshold, including 0 and > buffer.
+    let sizes = [0usize, 1, 64, 4096, 4999, 5000, 5001, 8192, 65_536, 300_000];
+    for conn in [ConnMode::OnDemand, ConnMode::StaticPeerToPeer] {
+        let report = uni(2, conn)
+            .run(move |mpi| {
+                let mut checked = 0usize;
+                for (i, &n) in sizes.iter().enumerate() {
+                    let payload: Vec<u8> = (0..n).map(|j| (j * 31 + i) as u8).collect();
+                    if mpi.rank() == 0 {
+                        mpi.send(&payload, 1, i as i32);
+                    } else {
+                        let (d, st) = mpi.recv(Some(0), Some(i as i32));
+                        assert_eq!(d, payload, "size {n} corrupted");
+                        assert_eq!(st.len, n);
+                        checked += 1;
+                    }
+                }
+                checked
+            })
+            .unwrap();
+        assert_eq!(report.results[1], sizes.len());
+    }
+}
+
+#[test]
+fn non_overtaking_same_pair_same_tag() {
+    // 100 messages, same destination, same tag: must arrive in order.
+    let report = uni(2, ConnMode::OnDemand)
+        .run(|mpi| {
+            if mpi.rank() == 0 {
+                for i in 0..100u32 {
+                    mpi.send(&i.to_le_bytes(), 1, 5);
+                }
+                0
+            } else {
+                let mut ok = 0;
+                for i in 0..100u32 {
+                    let (d, _) = mpi.recv(Some(0), Some(5));
+                    if u32::from_le_bytes(d.try_into().unwrap()) == i {
+                        ok += 1;
+                    }
+                }
+                ok
+            }
+        })
+        .unwrap();
+    assert_eq!(report.results[1], 100);
+}
+
+#[test]
+fn non_overtaking_mixed_eager_and_rendezvous() {
+    // Alternate small (eager) and large (rendezvous) messages with one tag;
+    // MPI order must still hold even though the protocols differ.
+    let report = uni(2, ConnMode::OnDemand)
+        .run(|mpi| {
+            let sizes: Vec<usize> = (0..20).map(|i| if i % 2 == 0 { 16 } else { 20_000 }).collect();
+            if mpi.rank() == 0 {
+                for (i, &n) in sizes.iter().enumerate() {
+                    let buf = vec![i as u8; n];
+                    mpi.send(&buf, 1, 3);
+                }
+                0
+            } else {
+                let mut ok = 0;
+                for (i, &n) in sizes.iter().enumerate() {
+                    let (d, _) = mpi.recv(Some(0), Some(3));
+                    if d.len() == n && d.iter().all(|&b| b == i as u8) {
+                        ok += 1;
+                    }
+                }
+                ok
+            }
+        })
+        .unwrap();
+    assert_eq!(report.results[1], 20);
+}
+
+#[test]
+fn any_source_any_tag_wildcards() {
+    let report = uni(4, ConnMode::OnDemand)
+        .run(|mpi| {
+            if mpi.rank() == 0 {
+                let mut seen = [false; 4];
+                for _ in 0..3 {
+                    let (d, st) = mpi.recv(ANY_SOURCE, ANY_TAG);
+                    assert_eq!(d[0] as usize, st.source);
+                    assert_eq!(st.tag, st.source as i32 * 10);
+                    seen[st.source] = true;
+                }
+                seen.iter().filter(|&&s| s).count()
+            } else {
+                let r = mpi.rank();
+                mpi.send(&[r as u8], 0, r as i32 * 10);
+                0
+            }
+        })
+        .unwrap();
+    assert_eq!(report.results[0], 3, "all three senders matched");
+}
+
+#[test]
+fn unexpected_messages_are_buffered_and_matched_in_order() {
+    let report = uni(2, ConnMode::OnDemand)
+        .run(|mpi| {
+            if mpi.rank() == 0 {
+                for i in 0..10u8 {
+                    mpi.send(&[i], 1, 1);
+                }
+                // Handshake so rank 1 posts receives only after all arrived.
+                mpi.send(b"done", 1, 2);
+                0
+            } else {
+                let (_, _) = mpi.recv(Some(0), Some(2));
+                let stats = mpi.mpi_stats();
+                assert!(stats.unexpected_msgs >= 10, "messages arrived early");
+                let mut ok = 0;
+                for i in 0..10u8 {
+                    let (d, _) = mpi.recv(Some(0), Some(1));
+                    if d == [i] {
+                        ok += 1;
+                    }
+                }
+                ok
+            }
+        })
+        .unwrap();
+    assert_eq!(report.results[1], 10);
+}
+
+#[test]
+fn tag_selectivity_reorders_against_posting() {
+    // Receive tag 2 first even though tag 1's message arrived first.
+    let report = uni(2, ConnMode::StaticPeerToPeer)
+        .run(|mpi| {
+            if mpi.rank() == 0 {
+                mpi.send(b"first", 1, 1);
+                mpi.send(b"second", 1, 2);
+                0
+            } else {
+                let (d2, _) = mpi.recv(Some(0), Some(2));
+                let (d1, _) = mpi.recv(Some(0), Some(1));
+                assert_eq!(&d2, b"second");
+                assert_eq!(&d1, b"first");
+                1
+            }
+        })
+        .unwrap();
+    assert_eq!(report.results[1], 1);
+}
+
+#[test]
+fn nonblocking_sendrecv_ring() {
+    for np in [2, 3, 5, 8] {
+        let report = uni(np, ConnMode::OnDemand)
+            .run(move |mpi| {
+                let (rank, size) = (mpi.rank(), mpi.size());
+                let next = (rank + 1) % size;
+                let prev = (rank + size - 1) % size;
+                let rr = mpi.irecv(Some(prev), Some(0));
+                let sr = mpi.isend(&(rank as u64).to_le_bytes(), next, 0);
+                let (d, st) = mpi.wait(rr);
+                mpi.wait(sr);
+                assert_eq!(st.source, prev);
+                u64::from_le_bytes(d.unwrap().try_into().unwrap()) as usize
+            })
+            .unwrap();
+        for r in 0..np {
+            assert_eq!(report.results[r], (r + np - 1) % np);
+        }
+    }
+}
+
+#[test]
+fn waitall_completes_a_batch() {
+    let report = uni(3, ConnMode::OnDemand)
+        .run(|mpi| {
+            if mpi.rank() == 0 {
+                let reqs: Vec<_> = (0..10)
+                    .flat_map(|i| {
+                        [
+                            mpi.isend(&[i as u8], 1, i),
+                            mpi.isend(&[i as u8 + 100], 2, i),
+                        ]
+                    })
+                    .collect();
+                mpi.waitall(&reqs);
+                20
+            } else {
+                let mut n = 0;
+                for i in 0..10 {
+                    let (d, _) = mpi.recv(Some(0), Some(i));
+                    let expect = if mpi.rank() == 1 { i as u8 } else { i as u8 + 100 };
+                    assert_eq!(d, [expect]);
+                    n += 1;
+                }
+                n
+            }
+        })
+        .unwrap();
+    assert_eq!(report.results, vec![20, 10, 10]);
+}
+
+#[test]
+fn test_polls_without_blocking() {
+    let report = uni(2, ConnMode::OnDemand)
+        .run(|mpi| {
+            if mpi.rank() == 0 {
+                // Delay so rank 1's test loop spins a while first.
+                mpi.advance(viampi_sim::SimDuration::millis(2));
+                mpi.send(b"x", 1, 0);
+                0
+            } else {
+                let r = mpi.irecv(Some(0), Some(0));
+                let mut polls = 0u64;
+                while !mpi.test(r) {
+                    polls += 1;
+                    mpi.advance(viampi_sim::SimDuration::micros(50));
+                }
+                let (d, _) = mpi.wait(r);
+                assert_eq!(d.unwrap(), b"x");
+                assert!(polls > 10, "test spun before completion: {polls}");
+                polls
+            }
+        })
+        .unwrap();
+    assert!(report.results[1] > 0);
+}
+
+#[test]
+fn probe_reports_pending_message_without_consuming() {
+    let report = uni(2, ConnMode::OnDemand)
+        .run(|mpi| {
+            if mpi.rank() == 0 {
+                mpi.send(&[7u8; 123], 1, 9);
+                0
+            } else {
+                let st = mpi.probe(Some(0), Some(9));
+                assert_eq!(st.len, 123);
+                assert_eq!(st.source, 0);
+                let (d, _) = mpi.recv(Some(0), Some(9));
+                assert_eq!(d.len(), 123);
+                1
+            }
+        })
+        .unwrap();
+    assert_eq!(report.results[1], 1);
+}
+
+#[test]
+fn iprobe_none_when_no_message() {
+    uni(2, ConnMode::OnDemand)
+        .run(|mpi| {
+            if mpi.rank() == 1 {
+                assert!(mpi.iprobe(Some(0), Some(5)).is_none());
+            }
+            // Keep ranks in step so neither exits early.
+            mpi.barrier();
+        })
+        .unwrap();
+}
+
+#[test]
+fn self_send_and_recv() {
+    uni(2, ConnMode::OnDemand)
+        .run(|mpi| {
+            let r = mpi.rank();
+            mpi.send(&[r as u8; 10], r, 4);
+            let (d, st) = mpi.recv(Some(r), Some(4));
+            assert_eq!(d, vec![r as u8; 10]);
+            assert_eq!(st.source, r);
+            // Self-traffic must not create VIs.
+            assert_eq!(mpi.live_vis(), 0);
+            mpi.barrier();
+        })
+        .unwrap();
+}
+
+#[test]
+fn synchronous_send_blocks_until_receiver_arrives() {
+    // ssend completes only when matched: measure that the sender's clock
+    // advanced past the receiver's arrival at the recv.
+    let report = uni(2, ConnMode::StaticPeerToPeer)
+        .run(|mpi| {
+            if mpi.rank() == 0 {
+                let t0 = mpi.now();
+                mpi.ssend(b"sync", 1, 0);
+                (mpi.now().since(t0)).as_micros_f64() as u64
+            } else {
+                // Receiver dawdles 5 ms before posting the receive.
+                mpi.advance(viampi_sim::SimDuration::millis(5));
+                let (d, _) = mpi.recv(Some(0), Some(0));
+                assert_eq!(&d, b"sync");
+                0
+            }
+        })
+        .unwrap();
+    assert!(
+        report.results[0] >= 5_000,
+        "ssend completed in {}us, before the matching receive",
+        report.results[0]
+    );
+}
+
+#[test]
+fn buffered_send_completes_locally_before_receiver_arrives() {
+    let report = uni(2, ConnMode::StaticPeerToPeer)
+        .run(|mpi| {
+            if mpi.rank() == 0 {
+                let t0 = mpi.now();
+                mpi.bsend(b"buffered", 1, 0);
+                let elapsed = mpi.now().since(t0).as_micros_f64() as u64;
+                mpi.barrier();
+                elapsed
+            } else {
+                mpi.advance(viampi_sim::SimDuration::millis(5));
+                let (d, _) = mpi.recv(Some(0), Some(0));
+                assert_eq!(&d, b"buffered");
+                mpi.barrier();
+                0
+            }
+        })
+        .unwrap();
+    assert!(
+        report.results[0] < 5_000,
+        "bsend took {}us — it must not wait for the receiver",
+        report.results[0]
+    );
+}
+
+#[test]
+fn ready_send_delivers_when_receive_pre_posted() {
+    let report = uni(2, ConnMode::StaticPeerToPeer)
+        .run(|mpi| {
+            if mpi.rank() == 1 {
+                let r = mpi.irecv(Some(0), Some(0));
+                mpi.barrier(); // receive now posted
+                let (d, _) = mpi.wait(r);
+                assert_eq!(d.unwrap(), b"ready");
+                1
+            } else {
+                mpi.barrier();
+                mpi.rsend(b"ready", 1, 0);
+                0
+            }
+        })
+        .unwrap();
+    assert_eq!(report.results[1], 1);
+}
+
+#[test]
+fn deadlock_is_detected_not_hung() {
+    let err = uni(2, ConnMode::StaticPeerToPeer)
+        .run(|mpi| {
+            if mpi.rank() == 0 {
+                // Both ranks receive from each other; nobody sends.
+                mpi.recv(Some(1), Some(0));
+            } else {
+                mpi.recv(Some(0), Some(0));
+            }
+        })
+        .unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("deadlock"), "got: {msg}");
+}
+
+#[test]
+fn rank_panic_surfaces_as_error() {
+    let err = uni(2, ConnMode::OnDemand)
+        .run(|mpi| {
+            if mpi.rank() == 1 {
+                panic!("numerical blow-up");
+            }
+            mpi.recv(Some(1), Some(0));
+        })
+        .unwrap_err();
+    assert!(err.to_string().contains("numerical blow-up"));
+}
+
+#[test]
+fn sendrecv_bidirectional_exchange() {
+    let report = uni(2, ConnMode::OnDemand)
+        .run(|mpi| {
+            let other = 1 - mpi.rank();
+            let mine = vec![mpi.rank() as u8; 6000]; // rendezvous size
+            let (theirs, _) = mpi.sendrecv(&mine, other, 0, Some(other), Some(0));
+            theirs == vec![other as u8; 6000]
+        })
+        .unwrap();
+    assert!(report.results.iter().all(|&ok| ok));
+}
+
+#[test]
+fn results_identical_across_connection_modes() {
+    // The paper's core correctness claim: on-demand is semantically
+    // transparent. Run a mixed workload under all three managers and
+    // compare outputs bit-for-bit.
+    fn workload(mpi: &viampi_core::Mpi) -> Vec<u64> {
+        let (rank, size) = (mpi.rank(), mpi.size());
+        let mut acc: Vec<u64> = vec![rank as u64];
+        // Ring shift.
+        let next = (rank + 1) % size;
+        let prev = (rank + size - 1) % size;
+        let (d, _) = mpi.sendrecv(&acc[0].to_le_bytes(), next, 1, Some(prev), Some(1));
+        acc.push(u64::from_le_bytes(d.try_into().unwrap()));
+        // Allreduce.
+        let s = mpi.allreduce(&[rank as i64 + 1], viampi_core::ReduceOp::Sum);
+        acc.push(s[0] as u64);
+        // Large exchange with rank^1 partner.
+        if size % 2 == 0 {
+            let partner = rank ^ 1;
+            let big = vec![(rank * 3) as u8; 10_000];
+            let (got, _) = mpi.sendrecv(&big, partner, 2, Some(partner), Some(2));
+            acc.push(got.iter().map(|&b| b as u64).sum());
+        }
+        acc
+    }
+    let mut outputs = Vec::new();
+    for conn in ALL_MODES {
+        let report = uni(4, conn).run(workload).unwrap();
+        outputs.push(report.results);
+    }
+    assert_eq!(outputs[0], outputs[1]);
+    assert_eq!(outputs[1], outputs[2]);
+}
+
+#[test]
+fn all_policies_and_devices_run_a_workload() {
+    for device in [Device::Clan, Device::Berkeley] {
+        for wait in [WaitPolicy::Polling, WaitPolicy::spinwait_default()] {
+            for conn in ALL_MODES {
+                let report = Universe::new(3, device, conn, wait)
+                    .run(|mpi| {
+                        let v = mpi.allreduce(&[mpi.rank() as i64], viampi_core::ReduceOp::Sum);
+                        v[0]
+                    })
+                    .unwrap();
+                assert_eq!(report.results, vec![3, 3, 3], "{device:?}/{wait:?}/{conn:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Protocol tracing: events appear in causal order with the right kinds,
+//! making the §3.4/§4 machinery observable.
+
+use viampi_core::{ConnMode, Device, TraceKind, Universe, WaitPolicy};
+
+fn traced(np: usize, conn: ConnMode) -> Universe {
+    let mut u = Universe::new(np, Device::Clan, conn, WaitPolicy::Polling);
+    u.config_mut().trace = true;
+    u.config_mut().os_noise = false;
+    u
+}
+
+#[test]
+fn on_demand_trace_shows_issue_then_establish_then_wire() {
+    let report = traced(2, ConnMode::OnDemand)
+        .run(|mpi| {
+            if mpi.rank() == 0 {
+                // Queue three sends before any connection exists.
+                let reqs: Vec<_> = (0..3u8).map(|i| mpi.isend(&[i], 1, 0)).collect();
+                mpi.waitall(&reqs);
+            } else {
+                for _ in 0..3 {
+                    mpi.recv(Some(0), Some(0));
+                }
+            }
+            mpi.take_trace()
+        })
+        .unwrap();
+    let t0 = &report.results[0];
+    let issue = t0
+        .iter()
+        .position(|e| matches!(e.kind, TraceKind::ConnIssued { peer: 1 }))
+        .expect("connect issued");
+    let est = t0
+        .iter()
+        .position(|e| matches!(e.kind, TraceKind::ConnEstablished { peer: 1, .. }))
+        .expect("connect established");
+    let wire = t0
+        .iter()
+        .position(|e| matches!(e.kind, TraceKind::WireSent { peer: 1, .. }))
+        .expect("wire sent");
+    assert!(issue < est && est < wire, "causal order: {issue} {est} {wire}");
+    // The establishment event records the deferred FIFO length (§3.4).
+    match &t0[est].kind {
+        TraceKind::ConnEstablished { deferred, .. } => assert_eq!(*deferred, 3),
+        _ => unreachable!(),
+    }
+    // Timestamps are nondecreasing.
+    for w in t0.windows(2) {
+        assert!(w[0].t <= w[1].t);
+    }
+}
+
+#[test]
+fn static_mode_trace_has_no_runtime_connects() {
+    let report = traced(2, ConnMode::StaticPeerToPeer)
+        .run(|mpi| {
+            if mpi.rank() == 0 {
+                mpi.send(b"x", 1, 0);
+            } else {
+                mpi.recv(Some(0), Some(0));
+            }
+            mpi.take_trace()
+        })
+        .unwrap();
+    // Static init issues all its connects up front: every ConnIssued must
+    // precede the first data message, and there is exactly one per peer.
+    let tr = &report.results[0];
+    let first_wire = tr
+        .iter()
+        .position(|e| matches!(e.kind, TraceKind::WireSent { .. }))
+        .expect("data flowed");
+    let issues: Vec<usize> = tr
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| matches!(e.kind, TraceKind::ConnIssued { .. }))
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(issues.len(), 1, "one peer at np=2");
+    assert!(issues.iter().all(|&i| i < first_wire));
+}
+
+#[test]
+fn rendezvous_and_delivery_traced() {
+    let report = traced(2, ConnMode::OnDemand)
+        .run(|mpi| {
+            if mpi.rank() == 0 {
+                mpi.send(&vec![1u8; 30_000], 1, 0);
+            } else {
+                mpi.recv(Some(0), Some(0));
+            }
+            mpi.take_trace()
+        })
+        .unwrap();
+    assert!(report.results[0]
+        .iter()
+        .any(|e| matches!(e.kind, TraceKind::RndvStarted { peer: 1, bytes: 30_000 })));
+}
+
+#[test]
+fn credit_stalls_and_growth_traced_under_dynamic_window() {
+    let mut u = traced(2, ConnMode::OnDemand);
+    u.config_mut().dynamic_credits = true;
+    let report = u
+        .run(|mpi| {
+            if mpi.rank() == 0 {
+                let reqs: Vec<_> = (0..100u8).map(|i| mpi.isend(&[i], 1, 0)).collect();
+                mpi.waitall(&reqs);
+            } else {
+                for _ in 0..100 {
+                    mpi.recv(Some(0), Some(0));
+                }
+            }
+            mpi.take_trace()
+        })
+        .unwrap();
+    let sender = &report.results[0];
+    assert!(
+        sender
+            .iter()
+            .any(|e| matches!(e.kind, TraceKind::CreditStall { peer: 1 })),
+        "a 100-message burst through a 4-buffer window must stall"
+    );
+    let receiver = &report.results[1];
+    assert!(
+        receiver
+            .iter()
+            .any(|e| matches!(e.kind, TraceKind::PoolGrown { peer: 0, .. })),
+        "the receiver's window must grow"
+    );
+}
+
+#[test]
+fn trace_is_empty_when_disabled() {
+    let report = Universe::new(2, Device::Clan, ConnMode::OnDemand, WaitPolicy::Polling)
+        .run(|mpi| {
+            let other = 1 - mpi.rank();
+            mpi.sendrecv(&[1], other, 0, Some(other), Some(0));
+            mpi.take_trace().len()
+        })
+        .unwrap();
+    assert_eq!(report.results, vec![0, 0]);
+}
+
+#[test]
+fn timeline_rendering_is_complete() {
+    let report = traced(2, ConnMode::OnDemand)
+        .run(|mpi| {
+            if mpi.rank() == 0 {
+                mpi.send(b"hello", 1, 0);
+            } else {
+                mpi.recv(Some(0), Some(0));
+            }
+            let tr = mpi.take_trace();
+            viampi_core::render_timeline(mpi.rank(), &tr)
+        })
+        .unwrap();
+    let s0 = &report.results[0];
+    assert!(s0.contains("connect -> 1 issued"), "{s0}");
+    assert!(s0.contains("wire -> 1"), "{s0}");
+    let s1 = &report.results[1];
+    assert!(s1.contains("deliver <- 0 (5 B)"), "{s1}");
+}

@@ -1,0 +1,336 @@
+//! CG — conjugate-gradient kernel with NPB's 2D process-grid communication
+//! structure.
+//!
+//! The matrix is partitioned over an `nprows × npcols` grid. Each matvec
+//! does (a) a sum-reduction across the grid row (recursive doubling over
+//! `log2(npcols)` partners), and (b) a transpose exchange with one partner
+//! to return the product to the input layout. Dot products are global
+//! allreduces. This yields the paper's Table 2 VI profile (≈4.75 at np=16,
+//! ≈5.78 at np=32).
+//!
+//! The solver is the real NPB structure: an inverse-power-iteration outer
+//! loop around a fixed-iteration CG inner solve on a synthetic symmetric
+//! diagonally-dominant sparse matrix (deterministic; SPD by construction).
+//! Sizes are the NPB class ratios scaled down ~10× (documented in
+//! DESIGN.md).
+
+use crate::class::Class;
+use crate::result::KernelResult;
+use viampi_core::{from_bytes, to_bytes, Mpi, ReduceOp};
+use viampi_sim::SplitMix64;
+
+struct Params {
+    n: usize,
+    nz_per_row: usize,
+    outer: usize,
+    inner: usize,
+    shift: f64,
+}
+
+fn params(class: Class) -> Params {
+    // NPB (real): A: 14000/11/15/20, B: 75000/13/75/60, C: 150000/15/75/110.
+    match class {
+        Class::S => Params { n: 256, nz_per_row: 6, outer: 3, inner: 15, shift: 10.0 },
+        Class::A => Params { n: 1400, nz_per_row: 8, outer: 6, inner: 25, shift: 20.0 },
+        Class::B => Params { n: 3000, nz_per_row: 10, outer: 10, inner: 25, shift: 60.0 },
+        Class::C => Params { n: 6000, nz_per_row: 12, outer: 12, inner: 25, shift: 110.0 },
+    }
+}
+
+/// Process-grid geometry (NPB rule: npcols = 2^⌈log2(np)/2⌉).
+struct Grid {
+    nprows: usize,
+    npcols: usize,
+    row: usize,
+    col: usize,
+}
+
+impl Grid {
+    fn new(rank: usize, np: usize) -> Grid {
+        assert!(np.is_power_of_two(), "CG needs a power-of-two rank count");
+        let log = np.trailing_zeros() as usize;
+        let npcols = 1 << log.div_ceil(2);
+        let nprows = np / npcols;
+        Grid {
+            nprows,
+            npcols,
+            row: rank / npcols,
+            col: rank % npcols,
+        }
+    }
+
+    fn rank_of(&self, row: usize, col: usize) -> usize {
+        row * self.npcols + col
+    }
+
+    /// Transpose-exchange partner (involution; see module docs). For square
+    /// grids this is the matrix-transpose position; for `npcols = 2*nprows`
+    /// it is NPB's half-block pairing.
+    fn transpose_partner(&self) -> usize {
+        if self.npcols == self.nprows {
+            self.rank_of(self.col, self.row)
+        } else {
+            debug_assert_eq!(self.npcols, 2 * self.nprows);
+            self.rank_of(self.col / 2, 2 * self.row + (self.col % 2))
+        }
+    }
+}
+
+/// Local sparse block in triplet form, plus the owned diagonal.
+struct LocalMatrix {
+    /// (local_row, local_col, value).
+    triples: Vec<(u32, u32, f64)>,
+    nnz_flops: f64,
+}
+
+/// Deterministic global sparse pattern: row `r` touches `nz` pseudo-random
+/// columns; the matrix is `D + S + Sᵀ` with `D` strictly dominant.
+fn build_local(p: &Params, g: &Grid) -> LocalMatrix {
+    let n = p.n;
+    let row_w = n / g.nprows;
+    let col_w = n / g.npcols;
+    let r0 = g.row * row_w;
+    let r1 = r0 + row_w;
+    let c0 = g.col * col_w;
+    let c1 = c0 + col_w;
+
+    let mut rowsum = vec![0.0f64; n];
+    let mut sym: Vec<(usize, usize, f64)> = Vec::with_capacity(n * p.nz_per_row * 2);
+    #[allow(clippy::needless_range_loop)]
+    for r in 0..n {
+        let mut rng = SplitMix64::new(0xC6A4_A793 ^ (r as u64 * 2_654_435_761));
+        for _ in 0..p.nz_per_row {
+            let c = rng.next_below(n as u64) as usize;
+            if c == r {
+                continue;
+            }
+            let v = rng.next_f64() - 0.5;
+            sym.push((r, c, v));
+            sym.push((c, r, v));
+            rowsum[r] += v.abs();
+            rowsum[c] += v.abs();
+        }
+    }
+    let mut triples = Vec::new();
+    for &(r, c, v) in &sym {
+        if (r0..r1).contains(&r) && (c0..c1).contains(&c) {
+            triples.push(((r - r0) as u32, (c - c0) as u32, v));
+        }
+    }
+    // Owned diagonal entries (dominance + shift ⇒ SPD).
+    #[allow(clippy::needless_range_loop)]
+    for r in r0.max(c0)..r1.min(c1) {
+        triples.push((
+            (r - r0) as u32,
+            (r - c0) as u32,
+            rowsum[r] + p.shift,
+        ));
+    }
+    let nnz_flops = 2.0 * triples.len() as f64;
+    LocalMatrix { triples, nnz_flops }
+}
+
+struct CgCtx<'a> {
+    mpi: &'a Mpi,
+    g: Grid,
+    a: LocalMatrix,
+    row_w: usize,
+    col_w: usize,
+    nprows_f: f64,
+}
+
+impl<'a> CgCtx<'a> {
+    /// Distributed matvec: returns `A·x` in the same (column-segment)
+    /// layout as `x`.
+    fn matvec(&self, x: &[f64], tag_base: i32) -> Vec<f64> {
+        let mpi = self.mpi;
+        // Local partial product over owned rows.
+        let mut w = vec![0.0f64; self.row_w];
+        for &(r, c, v) in &self.a.triples {
+            w[r as usize] += v * x[c as usize];
+        }
+        mpi.compute(self.a.nnz_flops);
+        // Sum across the grid row (recursive doubling over columns).
+        let mut mask = 1usize;
+        while mask < self.g.npcols {
+            let partner = self.g.rank_of(self.g.row, self.g.col ^ mask);
+            let theirs = mpi.sendrecv(
+                &to_bytes(&w),
+                partner,
+                tag_base,
+                Some(partner),
+                Some(tag_base),
+            );
+            let tv: Vec<f64> = from_bytes(&theirs.0);
+            for (a, b) in w.iter_mut().zip(tv) {
+                *a += b;
+            }
+            mpi.compute(self.row_w as f64);
+            mask <<= 1;
+        }
+        // Transpose exchange back to column-segment layout.
+        let partner = self.g.transpose_partner();
+        let me = self.g.rank_of(self.g.row, self.g.col);
+        let send_piece: Vec<f64> = if self.g.npcols == self.g.nprows {
+            w.clone()
+        } else {
+            // Send the half of w the partner's column block covers.
+            let half = self.g.col % 2;
+            w[half * self.col_w..(half + 1) * self.col_w].to_vec()
+        };
+        if partner == me {
+            send_piece
+        } else {
+            let got = mpi.sendrecv(
+                &to_bytes(&send_piece),
+                partner,
+                tag_base + 1,
+                Some(partner),
+                Some(tag_base + 1),
+            );
+            from_bytes(&got.0)
+        }
+    }
+
+    /// Global dot product of two column-segment vectors (each global
+    /// element is replicated `nprows` times).
+    fn dot(&self, a: &[f64], b: &[f64]) -> f64 {
+        let local: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+        self.mpi.compute(2.0 * a.len() as f64);
+        let total = self.mpi.allreduce(&[local], ReduceOp::Sum);
+        total[0] / self.nprows_f
+    }
+}
+
+/// Run CG; deterministic for a given class. `np` must be a power of two.
+pub fn run(mpi: &Mpi, class: Class) -> KernelResult {
+    let p = params(class);
+    let np = mpi.size();
+    let g = Grid::new(mpi.rank(), np);
+    assert_eq!(p.n % g.nprows, 0, "n divisible by grid rows");
+    assert_eq!(p.n % g.npcols, 0, "n divisible by grid cols");
+    let row_w = p.n / g.nprows;
+    let col_w = p.n / g.npcols;
+    let a = build_local(&p, &g);
+    let nprows_f = g.nprows as f64;
+    let ctx = CgCtx {
+        mpi,
+        g,
+        a,
+        row_w,
+        col_w,
+        nprows_f,
+    };
+
+    mpi.barrier();
+    let t0 = mpi.now();
+
+    let mut x = vec![1.0f64; col_w];
+    let mut zeta = 0.0;
+    let mut converged = true;
+    for _outer in 0..p.outer {
+        // Inner CG solve of A z = x.
+        let mut z = vec![0.0f64; col_w];
+        let mut r = x.clone();
+        let mut pv = r.clone();
+        let mut rho = ctx.dot(&r, &r);
+        let rho_init = rho;
+        for it in 0..p.inner {
+            let q = ctx.matvec(&pv, 10 + 2 * (it as i32 % 4));
+            let alpha = rho / ctx.dot(&pv, &q);
+            for i in 0..col_w {
+                z[i] += alpha * pv[i];
+                r[i] -= alpha * q[i];
+            }
+            mpi.compute(4.0 * col_w as f64);
+            let rho_new = ctx.dot(&r, &r);
+            let beta = rho_new / rho;
+            rho = rho_new;
+            for i in 0..col_w {
+                pv[i] = r[i] + beta * pv[i];
+            }
+            mpi.compute(2.0 * col_w as f64);
+        }
+        converged &= rho < rho_init;
+        // zeta = shift + 1 / (x · z); normalize x = z / ||z||.
+        let xz = ctx.dot(&x, &z);
+        zeta = p.shift + 1.0 / xz;
+        let znorm = ctx.dot(&z, &z).sqrt();
+        for i in 0..col_w {
+            x[i] = z[i] / znorm;
+        }
+        mpi.compute(col_w as f64);
+    }
+
+    mpi.barrier();
+    let time = mpi.now().since(t0).as_secs_f64();
+    KernelResult {
+        name: "cg",
+        class,
+        np,
+        time_secs: time,
+        verified: converged && zeta.is_finite() && zeta > p.shift,
+        checksum: zeta,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_geometry_follows_npb_rule() {
+        let g = Grid::new(0, 16);
+        assert_eq!((g.nprows, g.npcols), (4, 4));
+        let g = Grid::new(0, 32);
+        assert_eq!((g.nprows, g.npcols), (4, 8));
+        let g = Grid::new(0, 8);
+        assert_eq!((g.nprows, g.npcols), (2, 4));
+        let g = Grid::new(0, 2);
+        assert_eq!((g.nprows, g.npcols), (1, 2));
+    }
+
+    #[test]
+    fn transpose_partner_is_an_involution() {
+        for np in [4usize, 8, 16, 32, 64] {
+            for rank in 0..np {
+                let g = Grid::new(rank, np);
+                let p = g.transpose_partner();
+                let gp = Grid::new(p, np);
+                assert_eq!(
+                    gp.transpose_partner(),
+                    rank,
+                    "np={np} rank={rank} partner={p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_is_symmetric_and_dominant_globally() {
+        // Build the 1x1-grid block (the whole matrix) and check symmetry.
+        let p = params(Class::S);
+        let g = Grid::new(0, 1);
+        let m = build_local(&p, &g);
+        let n = p.n;
+        let mut dense = vec![0.0f64; n * n];
+        for &(r, c, v) in &m.triples {
+            dense[r as usize * n + c as usize] += v;
+        }
+        for r in 0..n {
+            for c in 0..r {
+                let a = dense[r * n + c];
+                let b = dense[c * n + r];
+                assert!((a - b).abs() < 1e-12, "asymmetry at ({r},{c})");
+            }
+            let offdiag: f64 = (0..n)
+                .filter(|&c| c != r)
+                .map(|c| dense[r * n + c].abs())
+                .sum();
+            assert!(
+                dense[r * n + r] > offdiag,
+                "row {r} not strictly dominant"
+            );
+        }
+    }
+}

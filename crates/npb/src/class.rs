@@ -1,0 +1,57 @@
+//! Problem classes.
+//!
+//! NPB defines classes S/W/A/B/C by problem size. Running the true sizes
+//! (e.g. CG class C: n = 150 000, 36 M nonzeros) inside a discrete-event
+//! simulation is pointless — the virtual-time results scale with the op
+//! counts we charge, not with how long the host grinds. We therefore keep
+//! the NPB *ratios* between classes but scale absolute sizes down by a
+//! fixed factor per benchmark, and charge `Mpi::compute` for the modelled
+//! flop counts. The scaling factors are documented per kernel and in
+//! DESIGN.md; EXPERIMENTS.md reports shape, not absolute seconds.
+
+use std::fmt;
+
+/// NPB problem class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Class {
+    /// Small (development) size.
+    S,
+    /// Class A.
+    A,
+    /// Class B.
+    B,
+    /// Class C.
+    C,
+}
+
+impl Class {
+    /// All paper-relevant classes.
+    pub const ALL: [Class; 3] = [Class::A, Class::B, Class::C];
+
+    /// Single-letter name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Class::S => "S",
+            Class::A => "A",
+            Class::B => "B",
+            Class::C => "C",
+        }
+    }
+}
+
+impl fmt::Display for Class {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names() {
+        assert_eq!(Class::A.to_string(), "A");
+        assert_eq!(Class::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,127 @@
+//! IS — the NPB integer-sort kernel: bucket sort with an allreduce'd
+//! bucket histogram and an all-to-all-v key redistribution per iteration.
+//! Communication-bound and fully connected (Table 2: utilization 1.0 with
+//! every VI in use under both managers).
+
+use crate::class::Class;
+use crate::result::KernelResult;
+use viampi_core::{from_bytes, to_bytes, Mpi, ReduceOp};
+use viampi_sim::SplitMix64;
+
+struct Params {
+    total_keys: u64,
+    max_key: u32,
+    iterations: usize,
+}
+
+fn params(class: Class) -> Params {
+    // NPB (real): A: 2^23 keys / 2^19 max, B: 2^25/2^21, C: 2^27/2^23,
+    // 10 iterations. Scaled by 2^5; ratios kept.
+    match class {
+        Class::S => Params { total_keys: 1 << 14, max_key: 1 << 11, iterations: 4 },
+        Class::A => Params { total_keys: 1 << 20, max_key: 1 << 15, iterations: 10 },
+        Class::B => Params { total_keys: 1 << 22, max_key: 1 << 17, iterations: 10 },
+        Class::C => Params { total_keys: 1 << 23, max_key: 1 << 18, iterations: 10 },
+    }
+}
+
+const BUCKETS: usize = 1 << 10;
+
+/// Run IS. Deterministic for a given class; keys are partitioned by global
+/// index so the result is independent of np.
+pub fn run(mpi: &Mpi, class: Class) -> KernelResult {
+    let p = params(class);
+    let (rank, np) = (mpi.rank(), mpi.size());
+    let per = p.total_keys / np as u64;
+    let lo = rank as u64 * per;
+    let hi = if rank == np - 1 { p.total_keys } else { lo + per };
+
+    // Key generation (NPB uses a Gaussian-ish sum of 4 uniforms).
+    let mut keys: Vec<u32> = Vec::with_capacity((hi - lo) as usize);
+    for idx in lo..hi {
+        let mut rng = SplitMix64::new(0x1234_5678 ^ (idx * 0x9E37_79B9));
+        let k = (0..4).map(|_| rng.next_below(p.max_key as u64 / 4) as u32).sum::<u32>();
+        keys.push(k);
+    }
+
+    mpi.barrier();
+    let t0 = mpi.now();
+
+    let shift = (p.max_key as usize / BUCKETS).max(1);
+    let mut sorted: Vec<u32> = Vec::new();
+    for _iter in 0..p.iterations {
+        // Local bucket histogram.
+        let mut hist = vec![0i64; BUCKETS];
+        for &k in &keys {
+            hist[(k as usize / shift).min(BUCKETS - 1)] += 1;
+        }
+        mpi.compute(keys.len() as f64 * 2.0);
+        // Global histogram (8 KiB message — crosses the eager threshold).
+        let global = mpi.allreduce(&hist, ReduceOp::Sum);
+        // Assign contiguous bucket ranges to ranks, balancing key counts.
+        let total: i64 = global.iter().sum();
+        let target = total / np as i64 + 1;
+        let mut owner = vec![0usize; BUCKETS];
+        let mut acc = 0i64;
+        let mut cur = 0usize;
+        for b in 0..BUCKETS {
+            owner[b] = cur;
+            acc += global[b];
+            if acc >= target && cur + 1 < np {
+                cur += 1;
+                acc = 0;
+            }
+        }
+        mpi.compute(BUCKETS as f64 * 2.0);
+        // Redistribute keys to their bucket owners.
+        let mut outgoing: Vec<Vec<u32>> = vec![Vec::new(); np];
+        for &k in &keys {
+            outgoing[owner[(k as usize / shift).min(BUCKETS - 1)]].push(k);
+        }
+        mpi.compute(keys.len() as f64);
+        let send: Vec<Vec<u8>> = outgoing.iter().map(|v| to_bytes(v)).collect();
+        let recv = mpi.alltoallv(&send);
+        let mut mine: Vec<u32> = Vec::new();
+        for block in recv {
+            mine.extend(from_bytes::<u32>(&block));
+        }
+        // Local counting sort (real).
+        mine.sort_unstable();
+        mpi.compute(mine.len() as f64 * 8.0);
+        sorted = mine;
+    }
+
+    mpi.barrier();
+    let time = mpi.now().since(t0).as_secs_f64();
+
+    // Full verification: locally sorted, globally ordered across rank
+    // boundaries (ring exchange of extrema), and no key lost.
+    let locally_sorted = sorted.windows(2).all(|w| w[0] <= w[1]);
+    let my_min = sorted.first().copied().unwrap_or(u32::MAX);
+    let my_max = sorted.last().copied().unwrap_or(0);
+    let mut boundary_ok = true;
+    if np > 1 {
+        let next = (rank + 1) % np;
+        let prev = (rank + np - 1) % np;
+        let (prev_max_b, _) = mpi.sendrecv(&my_max.to_le_bytes(), next, 77, Some(prev), Some(77));
+        let prev_max = u32::from_le_bytes(prev_max_b.try_into().unwrap());
+        if rank > 0 && !sorted.is_empty() && prev_max != 0 {
+            boundary_ok = prev_max <= my_min || prev_max == 0;
+        }
+    }
+    let counts = mpi.allreduce(&[sorted.len() as i64], ReduceOp::Sum);
+    let count_ok = counts[0] == p.total_keys as i64;
+    let key_sum = mpi.allreduce(
+        &[sorted.iter().map(|&k| k as i64).sum::<i64>()],
+        ReduceOp::Sum,
+    );
+
+    KernelResult {
+        name: "is",
+        class,
+        np,
+        time_secs: time,
+        verified: locally_sorted && boundary_ok && count_ok,
+        checksum: key_sum[0] as f64,
+    }
+}

@@ -1,0 +1,42 @@
+//! # viampi-npb — NAS-parallel-benchmark-like workloads over viampi-core
+//!
+//! Scaled-down kernels keeping the authentic NPB communication structure
+//! (partners, message sizes relative to class, collective usage), real
+//! deterministic numerics with built-in verification, and modelled compute
+//! charged through `Mpi::compute`:
+//!
+//! * [`ep`] — embarrassingly parallel Gaussian tallies (allreduce only);
+//! * [`cg`] — conjugate gradient on the NPB 2D process grid (row-reduce +
+//!   transpose + allreduce);
+//! * [`mg`] — V-cycle multigrid (axis-neighbour halos + full-machine
+//!   coarse-grid stage);
+//! * [`is`] — bucket sort (allreduce histogram + alltoallv keys);
+//! * [`adi`] — SP and BT pseudo-applications (8-neighbour multipartition
+//!   halos + periodic norms);
+//! * [`ft`] — 3D FFT with alltoall transposes (real Cooley-Tukey);
+//! * [`lu`] — SSOR with pipelined wavefront sweeps (one small message per
+//!   z-plane to each of four fixed neighbours).
+//!
+//! Plus the [`ring`] microbenchmark, the [`llc`] llcbench-style collective
+//! timers of the paper's §5.4, and the [`patterns`] Table-1 application
+//! communication-pattern generators.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod adi;
+pub mod cg;
+pub mod class;
+pub mod ep;
+pub mod ft;
+pub mod is;
+pub mod llc;
+pub mod lu;
+pub mod mg;
+pub mod patterns;
+pub mod result;
+pub mod ring;
+
+pub use adi::App;
+pub use class::Class;
+pub use result::KernelResult;

@@ -1,0 +1,47 @@
+//! Kernel run results, NPB-style.
+
+use crate::class::Class;
+
+/// Outcome of one kernel run on one rank (every rank returns the same
+/// verification data; times are per-rank).
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelResult {
+    /// Benchmark name ("cg", "mg", ...).
+    pub name: &'static str,
+    /// Problem class.
+    pub class: Class,
+    /// Ranks in the run.
+    pub np: usize,
+    /// Measured region time in virtual seconds (NPB "CPU time" analogue:
+    /// from the post-setup barrier to the final verification barrier).
+    pub time_secs: f64,
+    /// Did the built-in verification pass?
+    pub verified: bool,
+    /// Verification scalar (deterministic for a given class/np/seed).
+    pub checksum: f64,
+}
+
+impl KernelResult {
+    /// NPB-style label like `CG.A.16`.
+    pub fn label(&self) -> String {
+        format!("{}.{}.{}", self.name.to_uppercase(), self.class, self.np)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_format() {
+        let r = KernelResult {
+            name: "cg",
+            class: Class::B,
+            np: 16,
+            time_secs: 1.0,
+            verified: true,
+            checksum: 0.5,
+        };
+        assert_eq!(r.label(), "CG.B.16");
+    }
+}

@@ -1,0 +1,33 @@
+//! Ring microbenchmark: a token circulates around all ranks. The paper's
+//! Table 2 entry with the starkest resource contrast (2 VIs vs N-1).
+
+use viampi_core::Mpi;
+
+/// Circulate a `len`-byte token `laps` times around the ring; returns the
+/// per-lap virtual time in microseconds (same value on every rank).
+pub fn run(mpi: &Mpi, laps: usize, len: usize) -> f64 {
+    let (rank, size) = (mpi.rank(), mpi.size());
+    if size == 1 {
+        return 0.0;
+    }
+    let next = (rank + 1) % size;
+    let prev = (rank + size - 1) % size;
+    let token = vec![0xA5u8; len];
+    // No barrier: the ring's own data dependency synchronizes, and a
+    // barrier would add its tree partners to the VI footprint.
+    let t0 = mpi.now();
+    for _ in 0..laps {
+        if rank == 0 {
+            mpi.send(&token, next, 0);
+            let (t, _) = mpi.recv(Some(prev), Some(0));
+            assert_eq!(t.len(), len);
+        } else {
+            let (t, _) = mpi.recv(Some(prev), Some(0));
+            mpi.send(&t, next, 0);
+        }
+    }
+    // Per-rank per-lap time; rank 0's value is the canonical metric. (No
+    // result broadcast here: it would add tree partners and distort the
+    // Table-2 "Ring → 2 VIs" footprint.)
+    mpi.now().since(t0).as_micros_f64() / laps as f64
+}

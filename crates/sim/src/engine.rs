@@ -1,0 +1,804 @@
+//! The virtual-time engine.
+//!
+//! Every simulated process (an MPI rank, in this repository) runs on its own
+//! OS thread, but **exactly one** of {engine, processes} executes at any real
+//! instant: a token is passed between the engine and the process with the
+//! smallest virtual clock. Hardware activity (NIC processing, wire flight,
+//! DMA, connection handshakes) is represented by events in a global queue;
+//! events due at or before the next process resume time are applied first.
+//!
+//! The result is a *deterministic* simulation: given the same world, the same
+//! spawned closures and the same seeds, every run produces identical virtual
+//! timestamps, identical message interleavings, and identical statistics.
+//!
+//! Blocking is cooperative. A process that would spin-poll a completion queue
+//! instead parks in [`ProcCtx::block_on`]; whoever makes the awaited state
+//! change (an event handler or another process) calls [`Api::wake`], and the
+//! engine resumes the sleeper *at the virtual time of the wake*. Wait-policy
+//! costs (poll-detect vs interrupt wake-up) are charged by the caller on top.
+
+use crate::error::{BlockedProc, SimError};
+use crate::queue::EventQueue;
+use crate::time::{SimDuration, SimTime};
+use parking_lot::{Condvar, Mutex};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// Identifier of a spawned simulated process (dense, starting at 0 in spawn
+/// order — MPI layers use it directly as the rank).
+pub type ProcId = usize;
+
+/// The simulated hardware/world state shared by all processes.
+///
+/// The world owns everything "below" the process boundary: NIC state,
+/// in-flight messages, connection matchmaking. Processes mutate it through
+/// [`ProcCtx::with_world`]; deferred activity is expressed as typed events
+/// which the engine feeds back through [`World::handle_event`].
+pub trait World: Sized + Send + 'static {
+    /// Deferred-activity payload (message arrival, DMA completion, ...).
+    type Event: Send + 'static;
+
+    /// Apply `event` at its due time. May schedule follow-up events and wake
+    /// blocked processes through `api`.
+    fn handle_event(&mut self, event: Self::Event, api: &mut Api<'_, Self::Event>);
+}
+
+/// Scheduling capabilities handed to event handlers and world accessors.
+pub struct Api<'a, E> {
+    now: SimTime,
+    queue: &'a mut EventQueue<E>,
+    wakes: &'a mut Vec<ProcId>,
+}
+
+impl<'a, E> Api<'a, E> {
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `event` to fire `after` from now.
+    #[inline]
+    pub fn schedule(&mut self, after: SimDuration, event: E) {
+        self.queue.push(self.now + after, event);
+    }
+
+    /// Schedule `event` at an absolute time (clamped to now if in the past).
+    #[inline]
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        self.queue.push(at.max(self.now), event);
+    }
+
+    /// Mark a blocked process runnable at the current virtual time. Waking a
+    /// process that is not blocked is a harmless no-op (the "wakeup" races
+    /// are resolved by re-checking predicates in [`ProcCtx::block_on`]).
+    #[inline]
+    pub fn wake(&mut self, pid: ProcId) {
+        self.wakes.push(pid);
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProcState {
+    /// Runnable at `clock`.
+    Ready,
+    /// Currently holding the execution token.
+    Running,
+    /// Parked in `block_on` waiting for a wake.
+    Blocked,
+    /// Body returned normally.
+    Finished,
+    /// Body panicked (or was poisoned during teardown).
+    Panicked,
+}
+
+struct ProcSlot {
+    name: String,
+    clock: SimTime,
+    state: ProcState,
+    /// Engine pass on which this slot last ran; breaks clock ties
+    /// least-recently-run-first so equal-time processes round-robin.
+    last_run: u64,
+}
+
+struct Inner<W: World> {
+    world: W,
+    queue: EventQueue<W::Event>,
+    procs: Vec<ProcSlot>,
+    /// Process currently holding the token, if any.
+    running: Option<ProcId>,
+    /// First process panic observed (poisons the simulation).
+    poisoned: Option<(String, String)>,
+    /// Monotone counter stamped into `ProcSlot::last_run`.
+    pass: u64,
+    /// Events applied so far.
+    events_processed: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GateCmd {
+    Hold,
+    Run,
+    Poison,
+}
+
+struct Gate {
+    m: Mutex<GateCmd>,
+    cv: Condvar,
+}
+
+impl Gate {
+    fn new() -> Self {
+        Gate {
+            m: Mutex::new(GateCmd::Hold),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn wait(&self) -> GateCmd {
+        let mut g = self.m.lock();
+        while *g == GateCmd::Hold {
+            self.cv.wait(&mut g);
+        }
+        let cmd = *g;
+        *g = GateCmd::Hold;
+        cmd
+    }
+
+    fn open(&self, cmd: GateCmd) {
+        let mut g = self.m.lock();
+        *g = cmd;
+        self.cv.notify_one();
+    }
+}
+
+struct Shared<W: World> {
+    inner: Mutex<Inner<W>>,
+    /// Signalled whenever a process returns the token to the engine.
+    engine_cv: Condvar,
+    gates: Vec<Arc<Gate>>,
+}
+
+/// Panic payload used to unwind simulated processes during teardown.
+struct SimPoison;
+
+/// Handle passed to each simulated process body.
+///
+/// Cheap to clone; all methods may only be called from the owning process's
+/// thread while it holds the execution token (which is the case whenever the
+/// body is executing).
+pub struct ProcCtx<W: World> {
+    shared: Arc<Shared<W>>,
+    pid: ProcId,
+}
+
+impl<W: World> Clone for ProcCtx<W> {
+    fn clone(&self) -> Self {
+        ProcCtx {
+            shared: self.shared.clone(),
+            pid: self.pid,
+        }
+    }
+}
+
+impl<W: World> ProcCtx<W> {
+    /// This process's identifier (its spawn index).
+    #[inline]
+    pub fn pid(&self) -> ProcId {
+        self.pid
+    }
+
+    /// Number of processes spawned into the simulation.
+    pub fn nprocs(&self) -> usize {
+        self.shared.gates.len()
+    }
+
+    /// Current virtual time of this process.
+    pub fn now(&self) -> SimTime {
+        self.shared.inner.lock().procs[self.pid].clock
+    }
+
+    /// Charge `d` of virtual compute time to this process and yield so that
+    /// any events or other processes due earlier run first.
+    pub fn advance(&self, d: SimDuration) {
+        if d == SimDuration::ZERO {
+            return;
+        }
+        {
+            let mut g = self.shared.inner.lock();
+            let slot = &mut g.procs[self.pid];
+            slot.clock += d;
+            slot.state = ProcState::Ready;
+            g.running = None;
+        }
+        self.shared.engine_cv.notify_one();
+        self.park();
+    }
+
+    /// Yield the token without advancing time. Equal-clock processes are
+    /// scheduled least-recently-run-first, so this round-robins fairly.
+    pub fn yield_now(&self) {
+        {
+            let mut g = self.shared.inner.lock();
+            g.procs[self.pid].state = ProcState::Ready;
+            g.running = None;
+        }
+        self.shared.engine_cv.notify_one();
+        self.park();
+    }
+
+    /// Run `f` against the world at the current instant (zero virtual time).
+    /// `f` may schedule events and wake blocked processes.
+    pub fn with_world<R>(&self, f: impl FnOnce(&mut W, &mut Api<'_, W::Event>) -> R) -> R {
+        let mut g = self.shared.inner.lock();
+        let now = g.procs[self.pid].clock;
+        let inner = &mut *g;
+        let mut wakes = Vec::new();
+        let r = {
+            let mut api = Api {
+                now,
+                queue: &mut inner.queue,
+                wakes: &mut wakes,
+            };
+            f(&mut inner.world, &mut api)
+        };
+        apply_wakes(inner, now, &wakes);
+        r
+    }
+
+    /// Park until `f` yields `Some`. `f` is evaluated under the world lock;
+    /// if it returns `None` the process blocks and is re-evaluated after each
+    /// [`Api::wake`] targeting it. Returns the produced value together with
+    /// the virtual time at which it was produced.
+    pub fn block_on<R>(
+        &self,
+        mut f: impl FnMut(&mut W, &mut Api<'_, W::Event>) -> Option<R>,
+    ) -> R {
+        loop {
+            {
+                let mut g = self.shared.inner.lock();
+                let now = g.procs[self.pid].clock;
+                let inner = &mut *g;
+                let mut wakes = Vec::new();
+                let out = {
+                    let mut api = Api {
+                        now,
+                        queue: &mut inner.queue,
+                        wakes: &mut wakes,
+                    };
+                    f(&mut inner.world, &mut api)
+                };
+                apply_wakes(inner, now, &wakes);
+                if let Some(r) = out {
+                    return r;
+                }
+                inner.procs[self.pid].state = ProcState::Blocked;
+                inner.running = None;
+            }
+            self.shared.engine_cv.notify_one();
+            self.park();
+        }
+    }
+
+    fn park(&self) {
+        match self.shared.gates[self.pid].wait() {
+            GateCmd::Run => {}
+            GateCmd::Poison => panic::panic_any(SimPoison),
+            GateCmd::Hold => unreachable!(),
+        }
+    }
+}
+
+fn apply_wakes<W: World>(inner: &mut Inner<W>, now: SimTime, wakes: &[ProcId]) {
+    for &pid in wakes {
+        let slot = &mut inner.procs[pid];
+        if slot.state == ProcState::Blocked {
+            slot.state = ProcState::Ready;
+            slot.clock = slot.clock.max(now);
+        }
+    }
+}
+
+/// Summary of a completed simulation.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// Virtual finish time of each process, in spawn order.
+    pub proc_finish: Vec<SimTime>,
+    /// Latest process finish time (makespan).
+    pub end_time: SimTime,
+    /// Number of events the engine applied.
+    pub events_processed: u64,
+}
+
+type ProcBody<W> = Box<dyn FnOnce(ProcCtx<W>) + Send + 'static>;
+
+/// A configured simulation: a world plus a set of process bodies.
+pub struct Engine<W: World> {
+    world: Option<W>,
+    bodies: Vec<(String, ProcBody<W>)>,
+}
+
+impl<W: World> Engine<W> {
+    /// Create an engine around an initial world state.
+    pub fn new(world: W) -> Self {
+        Engine {
+            world: Some(world),
+            bodies: Vec::new(),
+        }
+    }
+
+    /// Register a simulated process. Returns its [`ProcId`] (spawn index).
+    pub fn spawn(
+        &mut self,
+        name: impl Into<String>,
+        body: impl FnOnce(ProcCtx<W>) + Send + 'static,
+    ) -> ProcId {
+        self.bodies.push((name.into(), Box::new(body)));
+        self.bodies.len() - 1
+    }
+
+    /// Run the simulation to completion. Returns the final world (for
+    /// statistics extraction) and an [`Outcome`], or a [`SimError`] if the
+    /// simulated program deadlocked or panicked.
+    pub fn run(mut self) -> Result<(W, Outcome), SimError> {
+        let world = self.world.take().expect("engine already run");
+        let n = self.bodies.len();
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                world,
+                queue: EventQueue::new(),
+                procs: self
+                    .bodies
+                    .iter()
+                    .map(|(name, _)| ProcSlot {
+                        name: name.clone(),
+                        clock: SimTime::ZERO,
+                        state: ProcState::Ready,
+                        last_run: 0,
+                    })
+                    .collect(),
+                running: None,
+                poisoned: None,
+                pass: 0,
+                events_processed: 0,
+            }),
+            engine_cv: Condvar::new(),
+            gates: (0..n).map(|_| Arc::new(Gate::new())).collect(),
+        });
+
+        let mut handles = Vec::with_capacity(n);
+        for (pid, (name, body)) in self.bodies.drain(..).enumerate() {
+            let ctx = ProcCtx {
+                shared: shared.clone(),
+                pid,
+            };
+            let shared2 = shared.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("sim-{name}"))
+                .spawn(move || {
+                    // Wait to be scheduled for the first time.
+                    match shared2.gates[pid].wait() {
+                        GateCmd::Poison => {
+                            let mut g = shared2.inner.lock();
+                            g.procs[pid].state = ProcState::Panicked;
+                            g.running = None;
+                            drop(g);
+                            shared2.engine_cv.notify_one();
+                            return;
+                        }
+                        GateCmd::Run => {}
+                        GateCmd::Hold => unreachable!(),
+                    }
+                    let result = panic::catch_unwind(AssertUnwindSafe(|| body(ctx)));
+                    let mut g = shared2.inner.lock();
+                    match result {
+                        Ok(()) => g.procs[pid].state = ProcState::Finished,
+                        Err(payload) => {
+                            g.procs[pid].state = ProcState::Panicked;
+                            if payload.downcast_ref::<SimPoison>().is_none()
+                                && g.poisoned.is_none()
+                            {
+                                let msg = panic_message(payload.as_ref());
+                                let name = g.procs[pid].name.clone();
+                                g.poisoned = Some((name, msg));
+                            }
+                        }
+                    }
+                    g.running = None;
+                    drop(g);
+                    shared2.engine_cv.notify_one();
+                })
+                .expect("spawn simulated process thread");
+            handles.push(handle);
+        }
+
+        let error = Self::schedule_loop(&shared);
+
+        for h in handles {
+            let _ = h.join();
+        }
+
+        let inner = Arc::try_unwrap(shared)
+            .unwrap_or_else(|_| panic!("simulation threads leaked a ProcCtx"))
+            .inner
+            .into_inner();
+
+        if let Some(err) = error {
+            return Err(err);
+        }
+        let proc_finish: Vec<SimTime> = inner.procs.iter().map(|p| p.clock).collect();
+        let end_time = proc_finish.iter().copied().max().unwrap_or(SimTime::ZERO);
+        Ok((
+            inner.world,
+            Outcome {
+                proc_finish,
+                end_time,
+                events_processed: inner.events_processed,
+            },
+        ))
+    }
+
+    /// Main scheduling loop. Returns `Some(error)` if the simulation was
+    /// torn down abnormally (after poisoning every live process).
+    fn schedule_loop(shared: &Arc<Shared<W>>) -> Option<SimError> {
+        let mut g = shared.inner.lock();
+        loop {
+            if let Some((name, message)) = g.poisoned.clone() {
+                Self::teardown(shared, &mut g);
+                return Some(SimError::ProcPanic { name, message });
+            }
+
+            let next_ready = g
+                .procs
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.state == ProcState::Ready)
+                .min_by_key(|(pid, p)| (p.clock, p.last_run, *pid))
+                .map(|(pid, p)| (p.clock, pid));
+            let next_event = g.queue.peek_time();
+
+            let run_event = match (next_event, next_ready) {
+                (Some(te), Some((tp, _))) => te <= tp,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => {
+                    let blocked: Vec<BlockedProc> = g
+                        .procs
+                        .iter()
+                        .filter(|p| p.state == ProcState::Blocked)
+                        .map(|p| BlockedProc {
+                            name: p.name.clone(),
+                            blocked_at: p.clock,
+                        })
+                        .collect();
+                    if blocked.is_empty() {
+                        return None; // all processes finished
+                    }
+                    let at = g
+                        .procs
+                        .iter()
+                        .map(|p| p.clock)
+                        .max()
+                        .unwrap_or(SimTime::ZERO);
+                    Self::teardown(shared, &mut g);
+                    return Some(SimError::Deadlock { at, blocked });
+                }
+            };
+
+            if run_event {
+                let (t, ev) = g.queue.pop().expect("peeked event vanished");
+                g.events_processed += 1;
+                let inner = &mut *g;
+                let mut wakes = Vec::new();
+                {
+                    let mut api = Api {
+                        now: t,
+                        queue: &mut inner.queue,
+                        wakes: &mut wakes,
+                    };
+                    inner.world.handle_event(ev, &mut api);
+                }
+                apply_wakes(inner, t, &wakes);
+                continue;
+            }
+
+            let (_, pid) = next_ready.expect("no event and no ready proc");
+            g.pass += 1;
+            let pass = g.pass;
+            {
+                let slot = &mut g.procs[pid];
+                slot.state = ProcState::Running;
+                slot.last_run = pass;
+            }
+            g.running = Some(pid);
+            drop(g);
+            shared.gates[pid].open(GateCmd::Run);
+            g = shared.inner.lock();
+            while g.running.is_some() {
+                shared.engine_cv.wait(&mut g);
+            }
+        }
+    }
+
+    /// Poison every process that is still parked so its thread unwinds.
+    fn teardown(shared: &Arc<Shared<W>>, g: &mut parking_lot::MutexGuard<'_, Inner<W>>) {
+        loop {
+            let victim = g
+                .procs
+                .iter()
+                .position(|p| matches!(p.state, ProcState::Ready | ProcState::Blocked));
+            let Some(pid) = victim else { break };
+            g.procs[pid].state = ProcState::Running;
+            g.running = Some(pid);
+            parking_lot::MutexGuard::unlocked(g, || {
+                shared.gates[pid].open(GateCmd::Poison);
+            });
+            while g.running.is_some() {
+                shared.engine_cv.wait(g);
+            }
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::VecDeque;
+
+    /// Minimal mailbox world used by the engine unit tests.
+    struct MailWorld {
+        boxes: Vec<VecDeque<(u64, SimTime)>>,
+        waiters: Vec<Option<ProcId>>,
+        log: Vec<String>,
+    }
+
+    enum MailEvent {
+        Deliver { to: usize, value: u64 },
+    }
+
+    impl World for MailWorld {
+        type Event = MailEvent;
+        fn handle_event(&mut self, ev: MailEvent, api: &mut Api<'_, MailEvent>) {
+            match ev {
+                MailEvent::Deliver { to, value } => {
+                    self.boxes[to].push_back((value, api.now()));
+                    if let Some(pid) = self.waiters[to].take() {
+                        api.wake(pid);
+                    }
+                }
+            }
+        }
+    }
+
+    impl MailWorld {
+        fn new(n: usize) -> Self {
+            MailWorld {
+                boxes: (0..n).map(|_| VecDeque::new()).collect(),
+                waiters: vec![None; n],
+                log: Vec::new(),
+            }
+        }
+    }
+
+    fn send(ctx: &ProcCtx<MailWorld>, to: usize, value: u64, latency: SimDuration) {
+        ctx.with_world(|_, api| api.schedule(latency, MailEvent::Deliver { to, value }));
+    }
+
+    fn recv(ctx: &ProcCtx<MailWorld>) -> (u64, SimTime) {
+        let pid = ctx.pid();
+        ctx.block_on(move |w, _| {
+            if let Some(v) = w.boxes[pid].pop_front() {
+                Some(v)
+            } else {
+                w.waiters[pid] = Some(pid);
+                None
+            }
+        })
+    }
+
+    #[test]
+    fn advance_accumulates_virtual_time() {
+        let mut eng = Engine::new(MailWorld::new(1));
+        eng.spawn("p0", |ctx| {
+            assert_eq!(ctx.now(), SimTime::ZERO);
+            ctx.advance(SimDuration::micros(3));
+            ctx.advance(SimDuration::micros(4));
+            assert_eq!(ctx.now(), SimTime(7_000));
+        });
+        let (_, out) = eng.run().unwrap();
+        assert_eq!(out.end_time, SimTime(7_000));
+        assert_eq!(out.proc_finish, vec![SimTime(7_000)]);
+    }
+
+    #[test]
+    fn message_latency_is_respected() {
+        let mut eng = Engine::new(MailWorld::new(2));
+        eng.spawn("sender", |ctx| {
+            ctx.advance(SimDuration::micros(10));
+            send(&ctx, 1, 42, SimDuration::micros(5));
+        });
+        eng.spawn("receiver", |ctx| {
+            let (v, at) = recv(&ctx);
+            assert_eq!(v, 42);
+            assert_eq!(at, SimTime(15_000));
+            assert_eq!(ctx.now(), SimTime(15_000), "woken at delivery time");
+        });
+        let (_, out) = eng.run().unwrap();
+        assert_eq!(out.end_time, SimTime(15_000));
+    }
+
+    #[test]
+    fn receiver_already_past_delivery_keeps_its_clock() {
+        let mut eng = Engine::new(MailWorld::new(2));
+        eng.spawn("sender", |ctx| {
+            send(&ctx, 1, 7, SimDuration::micros(1));
+        });
+        eng.spawn("receiver", |ctx| {
+            ctx.advance(SimDuration::micros(100));
+            let (v, _) = recv(&ctx);
+            assert_eq!(v, 7);
+            // Message arrived long ago; the receiver's clock must not go back.
+            assert_eq!(ctx.now(), SimTime(100_000));
+        });
+        eng.run().unwrap();
+    }
+
+    #[test]
+    fn events_fire_before_equal_or_later_procs() {
+        // An event at t=5 must be applied before a proc resumes at t=5.
+        struct ProbeWorld {
+            fired: bool,
+        }
+        enum E {
+            Fire,
+        }
+        impl World for ProbeWorld {
+            type Event = E;
+            fn handle_event(&mut self, _: E, _: &mut Api<'_, E>) {
+                self.fired = true;
+            }
+        }
+        let mut eng = Engine::new(ProbeWorld { fired: false });
+        eng.spawn("p", |ctx| {
+            ctx.with_world(|_, api| api.schedule(SimDuration::micros(5), E::Fire));
+            ctx.advance(SimDuration::micros(5));
+            assert!(ctx.with_world(|w, _| w.fired));
+        });
+        eng.run().unwrap();
+    }
+
+    #[test]
+    fn deadlock_is_detected_and_reported() {
+        let mut eng = Engine::new(MailWorld::new(2));
+        eng.spawn("a", |ctx| {
+            recv(&ctx); // nobody ever sends
+        });
+        eng.spawn("b", |ctx| {
+            ctx.advance(SimDuration::micros(1));
+        });
+        match eng.run() {
+            Err(SimError::Deadlock { blocked, .. }) => {
+                assert_eq!(blocked.len(), 1);
+                assert_eq!(blocked[0].name, "a");
+            }
+            other => panic!("expected deadlock, got {:?}", other.map(|(_, o)| o)),
+        }
+    }
+
+    #[test]
+    fn proc_panic_is_captured_and_teardown_completes() {
+        let mut eng = Engine::new(MailWorld::new(3));
+        eng.spawn("victim", |ctx| {
+            ctx.advance(SimDuration::micros(1));
+            panic!("boom in rank");
+        });
+        eng.spawn("waiter", |ctx| {
+            recv(&ctx);
+        });
+        eng.spawn("sleeper", |ctx| {
+            ctx.advance(SimDuration::millis(1000));
+        });
+        match eng.run() {
+            Err(SimError::ProcPanic { name, message }) => {
+                assert_eq!(name, "victim");
+                assert!(message.contains("boom in rank"), "got message: {message:?}");
+            }
+            other => panic!("expected panic error, got {:?}", other.map(|(_, o)| o)),
+        }
+    }
+
+    #[test]
+    fn equal_clock_processes_round_robin() {
+        let mut eng = Engine::new(MailWorld::new(2));
+        for pid in 0..2 {
+            eng.spawn(format!("p{pid}"), move |ctx| {
+                for i in 0..3 {
+                    ctx.with_world(move |w, _| {
+                        w.log.push(format!("p{pid}:{i}"));
+                    });
+                    ctx.yield_now();
+                }
+            });
+        }
+        let (w, _) = eng.run().unwrap();
+        assert_eq!(
+            w.log,
+            vec!["p0:0", "p1:0", "p0:1", "p1:1", "p0:2", "p1:2"],
+            "yield_now round-robins between equal-clock processes"
+        );
+    }
+
+    #[test]
+    fn deterministic_event_ordering_across_runs() {
+        let run = || {
+            let mut eng = Engine::new(MailWorld::new(4));
+            for s in 0..3usize {
+                eng.spawn(format!("s{s}"), move |ctx| {
+                    for i in 0..10u64 {
+                        ctx.advance(SimDuration::nanos(100 * (s as u64 + 1)));
+                        send(&ctx, 3, (s as u64) * 100 + i, SimDuration::micros(2));
+                    }
+                });
+            }
+            eng.spawn("sink", |ctx| {
+                let mut got = Vec::new();
+                for _ in 0..30 {
+                    got.push(recv(&ctx).0);
+                }
+                ctx.with_world(move |w, _| {
+                    w.log = got.iter().map(|v| v.to_string()).collect();
+                });
+            });
+            let (w, out) = eng.run().unwrap();
+            (w.log, out.end_time, out.events_processed)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "simulation must be bitwise deterministic");
+        assert_eq!(a.2, 30);
+    }
+
+    #[test]
+    fn with_world_is_zero_time() {
+        let mut eng = Engine::new(MailWorld::new(1));
+        eng.spawn("p", |ctx| {
+            let t0 = ctx.now();
+            for _ in 0..100 {
+                ctx.with_world(|_, _| {});
+            }
+            assert_eq!(ctx.now(), t0);
+        });
+        eng.run().unwrap();
+    }
+
+    #[test]
+    fn many_processes_interleave_by_clock() {
+        let mut eng = Engine::new(MailWorld::new(8));
+        for pid in 0..8usize {
+            eng.spawn(format!("p{pid}"), move |ctx| {
+                // Each process advances by a different stride; the engine must
+                // always run the smallest-clock process next.
+                for _ in 0..50 {
+                    ctx.advance(SimDuration::nanos((pid as u64 + 1) * 10));
+                    let now = ctx.now();
+                    ctx.with_world(move |w, _| w.log.push(format!("{}", now.as_nanos())));
+                }
+            });
+        }
+        let (w, _) = eng.run().unwrap();
+        let times: Vec<u64> = w.log.iter().map(|s| s.parse().unwrap()).collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        assert_eq!(times, sorted, "global observation order is time order");
+    }
+}

@@ -1,0 +1,140 @@
+//! Engine stress and scheduling-order tests beyond the in-module suite.
+
+use viampi_sim::{Api, Engine, ProcId, SimDuration, SimTime, World};
+
+struct Relay {
+    inbox: Vec<Vec<u64>>,
+    waiting: Vec<Option<ProcId>>,
+    order: Vec<(SimTime, usize)>,
+}
+
+enum Ev {
+    Put { to: usize, v: u64 },
+}
+
+impl World for Relay {
+    type Event = Ev;
+    fn handle_event(&mut self, ev: Ev, api: &mut Api<'_, Ev>) {
+        match ev {
+            Ev::Put { to, v } => {
+                self.inbox[to].push(v);
+                self.order.push((api.now(), to));
+                if let Some(pid) = self.waiting[to].take() {
+                    api.wake(pid);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn hundred_processes_chain() {
+    // Each process waits for a token from its predecessor and forwards it;
+    // exercises 100 threads' worth of park/unpark and event ordering.
+    let n = 100;
+    let mut eng = Engine::new(Relay {
+        inbox: vec![Vec::new(); n],
+        waiting: vec![None; n],
+        order: Vec::new(),
+    });
+    for me in 0..n {
+        eng.spawn(format!("p{me}"), move |ctx| {
+            if me == 0 {
+                ctx.with_world(|_, api| {
+                    api.schedule(SimDuration::micros(1), Ev::Put { to: 1, v: 1 })
+                });
+                return;
+            }
+            let pid = ctx.pid();
+            let v = ctx.block_on(move |w: &mut Relay, _| {
+                if let Some(v) = w.inbox[me].pop() {
+                    Some(v)
+                } else {
+                    w.waiting[me] = Some(pid);
+                    None
+                }
+            });
+            if me + 1 < n {
+                ctx.with_world(move |_, api| {
+                    api.schedule(SimDuration::micros(1), Ev::Put { to: me + 1, v: v + 1 })
+                });
+            } else {
+                assert_eq!(v, n as u64 - 1, "token incremented along the chain");
+            }
+        });
+    }
+    let (w, out) = eng.run().unwrap();
+    assert_eq!(out.events_processed, n as u64 - 1);
+    // Deliveries strictly 1µs apart and in chain order.
+    for (i, win) in w.order.windows(2).enumerate() {
+        assert_eq!(win[1].0 - win[0].0, SimDuration::micros(1), "step {i}");
+        assert_eq!(win[1].1, win[0].1 + 1);
+    }
+}
+
+#[test]
+fn event_storm_is_processed_in_timestamp_order() {
+    let mut eng = Engine::new(Relay {
+        inbox: vec![Vec::new(); 1],
+        waiting: vec![None; 1],
+        order: Vec::new(),
+    });
+    eng.spawn("storm", |ctx| {
+        // Schedule 5000 events with pseudo-random delays in one shot.
+        ctx.with_world(|_, api| {
+            let mut x = 0x2545F491_4F6CDD1Du64;
+            for v in 0..5000u64 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                api.schedule(SimDuration::nanos(x % 1_000_000), Ev::Put { to: 0, v });
+            }
+        });
+        ctx.advance(SimDuration::millis(2));
+        ctx.with_world(|w, _| {
+            assert_eq!(w.inbox[0].len(), 5000);
+            for win in w.order.windows(2) {
+                assert!(win[0].0 <= win[1].0, "timestamp order violated");
+            }
+        });
+    });
+    let (_, out) = eng.run().unwrap();
+    assert_eq!(out.events_processed, 5000);
+}
+
+#[test]
+fn zero_duration_advance_is_free_and_safe() {
+    let mut eng = Engine::new(Relay {
+        inbox: vec![Vec::new(); 1],
+        waiting: vec![None; 1],
+        order: Vec::new(),
+    });
+    eng.spawn("p", |ctx| {
+        let t = ctx.now();
+        for _ in 0..10_000 {
+            ctx.advance(SimDuration::ZERO);
+        }
+        assert_eq!(ctx.now(), t);
+    });
+    eng.run().unwrap();
+}
+
+#[test]
+fn outcome_reports_per_process_finish_times() {
+    let mut eng = Engine::new(Relay {
+        inbox: vec![Vec::new(); 3],
+        waiting: vec![None; 3],
+        order: Vec::new(),
+    });
+    for me in 0..3usize {
+        eng.spawn(format!("p{me}"), move |ctx| {
+            ctx.advance(SimDuration::micros(10 * (me as u64 + 1)));
+        });
+    }
+    let (_, out) = eng.run().unwrap();
+    assert_eq!(
+        out.proc_finish,
+        vec![SimTime(10_000), SimTime(20_000), SimTime(30_000)]
+    );
+    assert_eq!(out.end_time, SimTime(30_000));
+}

@@ -1,0 +1,673 @@
+//! The fabric: every NIC in the cluster plus the switch/connection-manager
+//! behaviour, implemented as a [`viampi_sim::World`].
+//!
+//! All state mutation happens either synchronously (a process posting a
+//! descriptor via [`crate::ViaPort`]) or in [`FabricEvent`] handlers (message
+//! arrival, connection handshake steps). Ordering guarantees:
+//!
+//! * per-VI transmit serialization through `Nic::tx_busy_until` plus a
+//!   constant wire latency gives **in-order delivery per VI**, which the
+//!   MVICH-style MPI layer depends on (MPI non-overtaking, rendezvous FIN
+//!   after RDMA data);
+//! * connection matching is race-safe: when two peers issue simultaneous
+//!   `connect_peer` calls, exactly one match is made (the second request to
+//!   arrive finds its initiator already matched and is dropped as stale).
+
+use crate::nic::{Nic, RecvDesc};
+use crate::profile::DeviceProfile;
+use crate::types::{
+    Completion, CompletionKind, CsRequest, DescId, Discriminator, MemHandle, NodeId, PeerRequest,
+    ViId, ViState, ViaError,
+};
+use bytes::Bytes;
+use viampi_sim::{Api, SimDuration, World};
+
+/// Payload of an in-flight message.
+#[derive(Debug, Clone)]
+pub enum PacketBody {
+    /// Two-sided send; consumes a receive descriptor at the target.
+    Send {
+        /// Message bytes.
+        data: Bytes,
+        /// Immediate word delivered in the completion.
+        imm: u32,
+    },
+    /// One-sided RDMA write into a remote registered region; invisible to
+    /// the target process (no descriptor consumed, no completion raised).
+    Rdma {
+        /// Message bytes.
+        data: Bytes,
+        /// Target region (as advertised by the target in its own protocol).
+        remote_mem: MemHandle,
+        /// Byte offset within the target region.
+        remote_off: usize,
+    },
+}
+
+/// An in-flight message.
+#[derive(Debug, Clone)]
+pub struct Packet {
+    /// Source endpoint.
+    pub src: (NodeId, ViId),
+    /// Destination endpoint.
+    pub dst: (NodeId, ViId),
+    /// Payload.
+    pub body: PacketBody,
+}
+
+/// Deferred fabric activity.
+#[derive(Debug)]
+pub enum FabricEvent {
+    /// Sender-side NIC finished serializing a descriptor.
+    TxDone {
+        /// Sending node.
+        node: NodeId,
+        /// Sending VI.
+        vi: ViId,
+        /// Completed descriptor.
+        desc: DescId,
+        /// Send vs RDMA-write completion.
+        kind: CompletionKind,
+    },
+    /// Message fully arrived (wire + receive processing done).
+    Deliver {
+        /// The message.
+        pkt: Packet,
+    },
+    /// A peer-to-peer connection request reached the target NIC.
+    PeerReqArrive {
+        /// Target node.
+        dst: NodeId,
+        /// Requesting node.
+        from: NodeId,
+        /// Its discriminator.
+        disc: Discriminator,
+    },
+    /// A client/server connection request reached the server NIC.
+    CsReqArrive {
+        /// Server node.
+        dst: NodeId,
+        /// Client node.
+        from: NodeId,
+        /// Its discriminator.
+        disc: Discriminator,
+    },
+    /// A matched endpoint finishes establishment and becomes `Connected`.
+    Established {
+        /// Node whose endpoint connects.
+        node: NodeId,
+        /// The endpoint.
+        vi: ViId,
+        /// Its now-known remote endpoint.
+        peer: (NodeId, ViId),
+    },
+    /// A client/server reject notification reaches the client.
+    CsRejected {
+        /// Client node.
+        node: NodeId,
+        /// Client VI that had issued `connect_request`.
+        vi: ViId,
+    },
+    /// A host-armed timer fires (used to model bounded spin windows in the
+    /// MPI wait policies). Bumps NIC activity so waiters re-check state.
+    Timer {
+        /// Node whose waiters to wake.
+        node: NodeId,
+    },
+    /// An out-of-band (process manager / TCP bootstrap) message arrives.
+    OobDeliver {
+        /// Target node.
+        dst: NodeId,
+        /// Source node.
+        from: NodeId,
+        /// Payload.
+        data: Vec<u8>,
+    },
+}
+
+/// The whole simulated cluster interconnect.
+pub struct Fabric {
+    /// Cost/limit model shared by every NIC (experiments use one network at
+    /// a time, as in the paper).
+    pub profile: DeviceProfile,
+    /// One NIC per node.
+    pub nics: Vec<Nic>,
+    /// Latency of the out-of-band bootstrap channel (process manager TCP).
+    pub oob_latency: SimDuration,
+}
+
+impl Fabric {
+    /// A fabric of `nodes` NICs with the given device profile.
+    pub fn new(profile: DeviceProfile, nodes: usize) -> Self {
+        Fabric {
+            profile,
+            nics: (0..nodes).map(Nic::new).collect(),
+            oob_latency: SimDuration::micros(120),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.nics.len()
+    }
+
+    /// Post a send descriptor on `vi`. Reads `len` bytes at `(mem, off)`.
+    ///
+    /// Per the VIA spec (and paper §3.4), a send posted on an unconnected VI
+    /// is **discarded**: the call succeeds, no completion is ever generated,
+    /// and `drops_unconnected` is incremented.
+    #[allow(clippy::too_many_arguments)]
+    pub fn post_send(
+        &mut self,
+        api: &mut Api<'_, FabricEvent>,
+        node: NodeId,
+        vi: ViId,
+        mem: MemHandle,
+        off: usize,
+        len: usize,
+        imm: u32,
+    ) -> Result<DescId, ViaError> {
+        self.nics[node].check_bounds(mem, off, len)?;
+        let peer = {
+            let v = self.nics[node].vi(vi)?;
+            if !v.state.is_connected() {
+                let desc = self.nics[node].alloc_desc();
+                self.nics[node].stats.drops_unconnected += 1;
+                return Ok(desc);
+            }
+            v.peer.expect("connected VI has a peer")
+        };
+        let data = Bytes::copy_from_slice(&self.nics[node].regions[mem.0 as usize].data[off..off + len]);
+        let desc = self.nics[node].alloc_desc();
+        self.launch(
+            api,
+            node,
+            vi,
+            desc,
+            Packet {
+                src: (node, vi),
+                dst: peer,
+                body: PacketBody::Send { data, imm },
+            },
+        );
+        Ok(desc)
+    }
+
+    /// Post an RDMA write on `vi` targeting `(remote_mem, remote_off)` in
+    /// the peer's registered memory.
+    #[allow(clippy::too_many_arguments)]
+    pub fn post_rdma_write(
+        &mut self,
+        api: &mut Api<'_, FabricEvent>,
+        node: NodeId,
+        vi: ViId,
+        mem: MemHandle,
+        off: usize,
+        len: usize,
+        remote_mem: MemHandle,
+        remote_off: usize,
+    ) -> Result<DescId, ViaError> {
+        self.nics[node].check_bounds(mem, off, len)?;
+        let peer = {
+            let v = self.nics[node].vi(vi)?;
+            if !v.state.is_connected() {
+                return Err(ViaError::NotConnected);
+            }
+            v.peer.expect("connected VI has a peer")
+        };
+        let data = Bytes::copy_from_slice(&self.nics[node].regions[mem.0 as usize].data[off..off + len]);
+        let desc = self.nics[node].alloc_desc();
+        self.launch(
+            api,
+            node,
+            vi,
+            desc,
+            Packet {
+                src: (node, vi),
+                dst: peer,
+                body: PacketBody::Rdma {
+                    data,
+                    remote_mem,
+                    remote_off,
+                },
+            },
+        );
+        Ok(desc)
+    }
+
+    /// Shared transmit path: NIC serialization, Fig.-1 per-VI scan cost,
+    /// bandwidth, wire latency, receive processing.
+    fn launch(
+        &mut self,
+        api: &mut Api<'_, FabricEvent>,
+        node: NodeId,
+        vi: ViId,
+        desc: DescId,
+        pkt: Packet,
+    ) {
+        let bytes = match &pkt.body {
+            PacketBody::Send { data, .. } => data.len(),
+            PacketBody::Rdma { data, .. } => data.len(),
+        };
+        let kind = match &pkt.body {
+            PacketBody::Send { .. } => CompletionKind::Send,
+            PacketBody::Rdma { .. } => CompletionKind::RdmaWrite,
+        };
+        let nic = &mut self.nics[node];
+        nic.stats.msgs_tx += 1;
+        nic.stats.bytes_tx += bytes as u64;
+        nic.vis[vi.0 as usize].msgs_sent += 1;
+        let live = nic.live_vis();
+        let start = (api.now() + self.profile.doorbell).max(nic.tx_busy_until);
+        let tx_done = start + self.profile.tx_time(bytes, live);
+        nic.tx_busy_until = tx_done;
+        api.schedule_at(tx_done, FabricEvent::TxDone {
+            node,
+            vi,
+            desc,
+            kind,
+        });
+        let arrive = tx_done + self.profile.wire_latency + self.profile.nic_rx;
+        api.schedule_at(arrive, FabricEvent::Deliver { pkt });
+    }
+
+    /// Post a receive descriptor on `vi`.
+    pub fn post_recv(
+        &mut self,
+        node: NodeId,
+        vi: ViId,
+        mem: MemHandle,
+        off: usize,
+        len: usize,
+    ) -> Result<DescId, ViaError> {
+        self.nics[node].check_bounds(mem, off, len)?;
+        let max = self.profile.max_recv_descs;
+        let nic = &mut self.nics[node];
+        if nic.vi(vi)?.recv_q.len() >= max {
+            return Err(ViaError::RecvQueueFull);
+        }
+        let desc = nic.alloc_desc();
+        nic.vi_mut(vi)?
+            .recv_q
+            .push_back(RecvDesc { desc, mem, off, len });
+        Ok(desc)
+    }
+
+    /// Issue a peer-to-peer connection request from `(node, vi)` to
+    /// `remote` under `disc` (VIA 1.0 `VipConnectPeerRequest`).
+    ///
+    /// If a matching request from `remote` already arrived here, the match
+    /// completes locally; otherwise the request travels to `remote`, where
+    /// it either matches an outstanding request or becomes visible through
+    /// [`Fabric::incoming_peer`].
+    pub fn connect_peer(
+        &mut self,
+        api: &mut Api<'_, FabricEvent>,
+        node: NodeId,
+        vi: ViId,
+        remote: NodeId,
+        disc: Discriminator,
+    ) -> Result<(), ViaError> {
+        {
+            let v = self.nics[node].vi_mut(vi)?;
+            if v.state != ViState::Idle {
+                return Err(ViaError::AlreadyConnected);
+            }
+            v.state = ViState::Connecting;
+            v.remote = Some(remote);
+            v.disc = Some(disc);
+        }
+        self.nics[node].stats.conn_requests += 1;
+
+        // Did the remote's request already arrive here?
+        let pending = self.nics[node]
+            .incoming_peer
+            .iter()
+            .position(|r| r.from == remote && r.disc == disc);
+        if let Some(idx) = pending {
+            self.nics[node].incoming_peer.remove(idx);
+            self.match_peer(api, remote, node, disc, SimDuration::ZERO);
+            return Ok(());
+        }
+        api.schedule(
+            self.profile.conn_wire,
+            FabricEvent::PeerReqArrive {
+                dst: remote,
+                from: node,
+                disc,
+            },
+        );
+        Ok(())
+    }
+
+    /// Find the unmatched Connecting VI on `node` targeting `(remote, disc)`.
+    fn find_connecting(&self, node: NodeId, remote: NodeId, disc: Discriminator) -> Option<ViId> {
+        self.nics[node]
+            .vis
+            .iter()
+            .enumerate()
+            .find(|(_, v)| {
+                !v.destroyed
+                    && v.state == ViState::Connecting
+                    && v.remote == Some(remote)
+                    && v.disc == Some(disc)
+            })
+            .map(|(i, _)| ViId(i as u32))
+    }
+
+    /// Both sides have issued matching requests: move them to `Establishing`
+    /// and schedule `Established` on each after the handshake cost.
+    ///
+    /// `a` is the side whose request travelled (or `from` in a local match);
+    /// `b` is the side where the match was discovered. `extra` is any
+    /// additional one-way delay to fold in (zero for a local discovery).
+    fn match_peer(
+        &mut self,
+        api: &mut Api<'_, FabricEvent>,
+        a: NodeId,
+        b: NodeId,
+        disc: Discriminator,
+        extra: SimDuration,
+    ) {
+        let Some(vi_a) = self.find_connecting(a, b, disc) else {
+            // Initiator vanished (destroyed VI) — drop silently.
+            return;
+        };
+        let Some(vi_b) = self.find_connecting(b, a, disc) else {
+            return;
+        };
+        self.nics[a].vis[vi_a.0 as usize].state = ViState::Establishing;
+        self.nics[b].vis[vi_b.0 as usize].state = ViState::Establishing;
+        let est = self.profile.conn_establish + extra;
+        // The discovery side connects after the local handshake; the far
+        // side additionally waits for the response to travel back.
+        api.schedule(est, FabricEvent::Established {
+            node: b,
+            vi: vi_b,
+            peer: (a, vi_a),
+        });
+        api.schedule(
+            est + self.profile.conn_wire,
+            FabricEvent::Established {
+                node: a,
+                vi: vi_a,
+                peer: (b, vi_b),
+            },
+        );
+    }
+
+    /// Issue a client/server connection request (VIA 0.95
+    /// `VipConnectRequest`) from `(node, vi)` to the server `remote`.
+    pub fn connect_request(
+        &mut self,
+        api: &mut Api<'_, FabricEvent>,
+        node: NodeId,
+        vi: ViId,
+        remote: NodeId,
+        disc: Discriminator,
+    ) -> Result<(), ViaError> {
+        {
+            let v = self.nics[node].vi_mut(vi)?;
+            if v.state != ViState::Idle {
+                return Err(ViaError::AlreadyConnected);
+            }
+            v.state = ViState::Connecting;
+            v.remote = Some(remote);
+            v.disc = Some(disc);
+        }
+        self.nics[node].stats.conn_requests += 1;
+        api.schedule(
+            self.profile.conn_wire,
+            FabricEvent::CsReqArrive {
+                dst: remote,
+                from: node,
+                disc,
+            },
+        );
+        Ok(())
+    }
+
+    /// Server side: accept pending request `req_id` on endpoint `vi`
+    /// (VIA `VipConnectAccept`).
+    pub fn accept_cs(
+        &mut self,
+        api: &mut Api<'_, FabricEvent>,
+        node: NodeId,
+        req_id: u64,
+        vi: ViId,
+    ) -> Result<(), ViaError> {
+        let idx = self.nics[node]
+            .incoming_cs
+            .iter()
+            .position(|r| r.id == req_id)
+            .ok_or(ViaError::NoSuchRequest)?;
+        let req = self.nics[node].incoming_cs.remove(idx);
+        {
+            let v = self.nics[node].vi_mut(vi)?;
+            if v.state != ViState::Idle {
+                return Err(ViaError::AlreadyConnected);
+            }
+            v.state = ViState::Establishing;
+            v.remote = Some(req.from);
+            v.disc = Some(req.disc);
+        }
+        let Some(client_vi) = self.find_connecting(req.from, node, req.disc) else {
+            return Err(ViaError::NoSuchRequest);
+        };
+        self.nics[req.from].vis[client_vi.0 as usize].state = ViState::Establishing;
+        let est = self.profile.conn_accept + self.profile.conn_establish;
+        api.schedule(est, FabricEvent::Established {
+            node,
+            vi,
+            peer: (req.from, client_vi),
+        });
+        api.schedule(
+            est + self.profile.conn_wire,
+            FabricEvent::Established {
+                node: req.from,
+                vi: client_vi,
+                peer: (node, vi),
+            },
+        );
+        Ok(())
+    }
+
+    /// Server side: reject pending request `req_id`.
+    pub fn reject_cs(
+        &mut self,
+        api: &mut Api<'_, FabricEvent>,
+        node: NodeId,
+        req_id: u64,
+    ) -> Result<(), ViaError> {
+        let idx = self.nics[node]
+            .incoming_cs
+            .iter()
+            .position(|r| r.id == req_id)
+            .ok_or(ViaError::NoSuchRequest)?;
+        let req = self.nics[node].incoming_cs.remove(idx);
+        if let Some(client_vi) = self.find_connecting(req.from, node, req.disc) {
+            api.schedule(self.profile.conn_wire, FabricEvent::CsRejected {
+                node: req.from,
+                vi: client_vi,
+            });
+        }
+        Ok(())
+    }
+
+    /// Send an out-of-band (process-manager) message.
+    pub fn oob_send(
+        &mut self,
+        api: &mut Api<'_, FabricEvent>,
+        from: NodeId,
+        to: NodeId,
+        data: Vec<u8>,
+    ) {
+        // Model a TCP-ish channel: fixed latency plus ~12 B/us.
+        let lat = self.oob_latency + SimDuration::micros_f64(data.len() as f64 / 12.0);
+        api.schedule(lat, FabricEvent::OobDeliver {
+            dst: to,
+            from,
+            data,
+        });
+    }
+}
+
+impl World for Fabric {
+    type Event = FabricEvent;
+
+    fn handle_event(&mut self, event: FabricEvent, api: &mut Api<'_, FabricEvent>) {
+        let mut wake = Vec::new();
+        match event {
+            FabricEvent::TxDone {
+                node,
+                vi,
+                desc,
+                kind,
+            } => {
+                let nic = &mut self.nics[node];
+                nic.cq.push_back(Completion {
+                    vi,
+                    kind,
+                    desc,
+                    len: 0,
+                    imm: 0,
+                });
+                nic.bump_activity(&mut wake);
+            }
+            FabricEvent::Deliver { pkt } => {
+                let (dst_node, dst_vi) = pkt.dst;
+                match pkt.body {
+                    PacketBody::Send { data, imm } => {
+                        let nic = &mut self.nics[dst_node];
+                        let Ok(vi) = nic.vi_mut(dst_vi) else {
+                            nic.stats.drops_no_desc += 1;
+                            return;
+                        };
+                        let Some(rd) = vi.recv_q.front().copied() else {
+                            nic.stats.drops_no_desc += 1;
+                            return;
+                        };
+                        if rd.len < data.len() {
+                            nic.stats.drops_too_big += 1;
+                            return;
+                        }
+                        vi.recv_q.pop_front();
+                        vi.msgs_recvd += 1;
+                        nic.regions[rd.mem.0 as usize].data[rd.off..rd.off + data.len()]
+                            .copy_from_slice(&data);
+                        nic.stats.msgs_rx += 1;
+                        nic.stats.bytes_rx += data.len() as u64;
+                        nic.cq.push_back(Completion {
+                            vi: dst_vi,
+                            kind: CompletionKind::Recv,
+                            desc: rd.desc,
+                            len: data.len(),
+                            imm,
+                        });
+                        nic.bump_activity(&mut wake);
+                    }
+                    PacketBody::Rdma {
+                        data,
+                        remote_mem,
+                        remote_off,
+                    } => {
+                        let nic = &mut self.nics[dst_node];
+                        if nic
+                            .check_bounds(remote_mem, remote_off, data.len())
+                            .is_err()
+                        {
+                            nic.stats.drops_rdma += 1;
+                            return;
+                        }
+                        nic.regions[remote_mem.0 as usize].data
+                            [remote_off..remote_off + data.len()]
+                            .copy_from_slice(&data);
+                        nic.stats.msgs_rx += 1;
+                        nic.stats.bytes_rx += data.len() as u64;
+                        // One-sided: no completion, no activity (invisible to
+                        // the target process, as in the VI Architecture).
+                    }
+                }
+            }
+            FabricEvent::PeerReqArrive { dst, from, disc } => {
+                if self.find_connecting(dst, from, disc).is_some() {
+                    // Mutual outstanding requests: match here.
+                    self.match_peer(api, from, dst, disc, SimDuration::ZERO);
+                } else if self.peer_already_matched(dst, from, disc) {
+                    // Stale duplicate of a simultaneous connect — both
+                    // requests crossed on the wire and the other one already
+                    // made the match. Drop.
+                } else {
+                    let nic = &mut self.nics[dst];
+                    if !nic
+                        .incoming_peer
+                        .iter()
+                        .any(|r| r.from == from && r.disc == disc)
+                    {
+                        nic.incoming_peer.push(PeerRequest { from, disc });
+                    }
+                    nic.bump_activity(&mut wake);
+                }
+            }
+            FabricEvent::CsReqArrive { dst, from, disc } => {
+                let nic = &mut self.nics[dst];
+                let id = nic.next_cs_id;
+                nic.next_cs_id += 1;
+                nic.incoming_cs.push(CsRequest { id, from, disc });
+                nic.bump_activity(&mut wake);
+            }
+            FabricEvent::Established { node, vi, peer } => {
+                let nic = &mut self.nics[node];
+                if let Ok(v) = nic.vi_mut(vi) {
+                    v.state = ViState::Connected;
+                    v.peer = Some(peer);
+                    nic.stats.conns_established += 1;
+                    nic.bump_activity(&mut wake);
+                }
+            }
+            FabricEvent::CsRejected { node, vi } => {
+                let nic = &mut self.nics[node];
+                if let Ok(v) = nic.vi_mut(vi) {
+                    v.state = ViState::Error;
+                    nic.bump_activity(&mut wake);
+                }
+            }
+            FabricEvent::Timer { node } => {
+                let nic = &mut self.nics[node];
+                nic.timer_seq += 1;
+                wake.append(&mut nic.waiters);
+            }
+            FabricEvent::OobDeliver { dst, from, data } => {
+                let nic = &mut self.nics[dst];
+                nic.oob.push_back((from, data));
+                nic.bump_activity(&mut wake);
+            }
+        }
+        for pid in wake {
+            api.wake(pid);
+        }
+    }
+}
+
+impl Fabric {
+    /// Does `node` hold a VI already matched/connected to `(from, disc)`?
+    /// Used to discard the stale half of simultaneous peer requests.
+    fn peer_already_matched(&self, node: NodeId, from: NodeId, disc: Discriminator) -> bool {
+        self.nics[node].vis.iter().any(|v| {
+            !v.destroyed
+                && matches!(v.state, ViState::Establishing | ViState::Connected)
+                && v.remote == Some(from)
+                && v.disc == Some(disc)
+        })
+    }
+
+    /// Snapshot of the pending incoming peer requests on `node`.
+    pub fn incoming_peer(&self, node: NodeId) -> &[PeerRequest] {
+        &self.nics[node].incoming_peer
+    }
+
+    /// Snapshot of the pending incoming client/server requests on `node`.
+    pub fn incoming_cs(&self, node: NodeId) -> &[CsRequest] {
+        &self.nics[node].incoming_cs
+    }
+}

@@ -1,0 +1,354 @@
+//! Per-node NIC state: VI endpoints, registered memory, completion queue,
+//! pending connection requests, and resource accounting.
+
+use crate::types::{
+    Completion, CsRequest, DescId, Discriminator, MemHandle, NodeId, PeerRequest, ViId, ViState,
+    ViaError,
+};
+use std::collections::VecDeque;
+use viampi_sim::{ProcId, SimTime};
+
+/// A posted receive descriptor (address of a pinned buffer segment).
+#[derive(Debug, Clone, Copy)]
+pub struct RecvDesc {
+    /// Identifier echoed in the completion.
+    pub desc: DescId,
+    /// Registered region the payload lands in.
+    pub mem: MemHandle,
+    /// Byte offset within the region.
+    pub off: usize,
+    /// Capacity of the buffer segment.
+    pub len: usize,
+}
+
+/// One VI endpoint.
+#[derive(Debug)]
+pub struct Vi {
+    /// Connection state.
+    pub state: ViState,
+    /// Remote endpoint once connected.
+    pub peer: Option<(NodeId, ViId)>,
+    /// Remote node targeted while connecting.
+    pub remote: Option<NodeId>,
+    /// Discriminator used by the in-flight connect.
+    pub disc: Option<Discriminator>,
+    /// Pre-posted receive descriptors, consumed FIFO by arrivals.
+    pub recv_q: VecDeque<RecvDesc>,
+    /// Messages sent on this VI (usage accounting for Table 2).
+    pub msgs_sent: u64,
+    /// Messages received on this VI.
+    pub msgs_recvd: u64,
+    /// True once destroyed; the slot is never reused so `ViId`s stay unique.
+    pub destroyed: bool,
+}
+
+impl Vi {
+    fn new() -> Self {
+        Vi {
+            state: ViState::Idle,
+            peer: None,
+            remote: None,
+            disc: None,
+            recv_q: VecDeque::new(),
+            msgs_sent: 0,
+            msgs_recvd: 0,
+            destroyed: false,
+        }
+    }
+}
+
+/// A registered (pinned) memory region.
+#[derive(Debug)]
+pub struct Region {
+    /// Backing storage; simulated DMA reads/writes address this directly.
+    pub data: Vec<u8>,
+    /// False once deregistered (slot retained so handles stay unique).
+    pub active: bool,
+}
+
+/// Cumulative per-NIC statistics (the raw material of the paper's Table 2
+/// and the resource-usage arguments of §1).
+#[derive(Debug, Clone, Default)]
+pub struct NicStats {
+    /// VIs ever created.
+    pub vis_created: u64,
+    /// VIs destroyed.
+    pub vis_destroyed: u64,
+    /// Peak simultaneously-live VIs.
+    pub vis_peak: u64,
+    /// Connections fully established (counted once per local endpoint).
+    pub conns_established: u64,
+    /// Outgoing connection requests issued (both models).
+    pub conn_requests: u64,
+    /// Currently pinned bytes.
+    pub pinned_now: usize,
+    /// Peak pinned bytes.
+    pub pinned_peak: usize,
+    /// Messages / bytes transmitted (send + RDMA).
+    pub msgs_tx: u64,
+    /// Bytes transmitted.
+    pub bytes_tx: u64,
+    /// Messages received (matched to a descriptor or RDMA-landed).
+    pub msgs_rx: u64,
+    /// Bytes received.
+    pub bytes_rx: u64,
+    /// Sends posted on unconnected VIs — **discarded**, per the VIA spec
+    /// behaviour the paper's §3.4 pre-posted-send FIFO exists to avoid.
+    pub drops_unconnected: u64,
+    /// Arrivals dropped because no receive descriptor was posted.
+    pub drops_no_desc: u64,
+    /// Arrivals dropped because the posted buffer was too small.
+    pub drops_too_big: u64,
+    /// RDMA writes dropped for addressing errors.
+    pub drops_rdma: u64,
+    /// Descriptors posted (sends + receives + RDMA).
+    pub descs_posted: u64,
+}
+
+/// One simulated NIC.
+#[derive(Debug)]
+pub struct Nic {
+    /// Owning node.
+    pub node: NodeId,
+    /// VI table, indexed by `ViId.0`. Slots are never reused.
+    pub vis: Vec<Vi>,
+    /// Registered-memory table, indexed by `MemHandle.0`.
+    pub regions: Vec<Region>,
+    /// The completion queue shared by all of this NIC's work queues.
+    pub cq: VecDeque<Completion>,
+    /// Processes parked waiting for NIC activity.
+    pub waiters: Vec<ProcId>,
+    /// Monotone counter bumped on every externally visible NIC event
+    /// (completion, connection change, incoming request, OOB message).
+    pub activity: u64,
+    /// Monotone counter of fired host timers (kept separate from `activity`
+    /// so a spin-window timer never masquerades as real NIC progress).
+    pub timer_seq: u64,
+    /// Earliest time the transmit engine is free (serialization point).
+    pub tx_busy_until: SimTime,
+    /// Next descriptor id.
+    pub next_desc: u64,
+    /// Peer-to-peer connection requests that arrived before the local
+    /// process issued a matching `connect_peer`.
+    pub incoming_peer: Vec<PeerRequest>,
+    /// Client/server requests awaiting accept/reject.
+    pub incoming_cs: Vec<CsRequest>,
+    /// Next client/server request id.
+    pub next_cs_id: u64,
+    /// Out-of-band (process-manager) mailbox: `(from, payload)`.
+    pub oob: VecDeque<(NodeId, Vec<u8>)>,
+    /// Resource counters.
+    pub stats: NicStats,
+}
+
+impl Nic {
+    /// Fresh NIC for `node`.
+    pub fn new(node: NodeId) -> Self {
+        Nic {
+            node,
+            vis: Vec::new(),
+            regions: Vec::new(),
+            cq: VecDeque::new(),
+            waiters: Vec::new(),
+            activity: 0,
+            timer_seq: 0,
+            tx_busy_until: SimTime::ZERO,
+            next_desc: 0,
+            incoming_peer: Vec::new(),
+            incoming_cs: Vec::new(),
+            next_cs_id: 0,
+            oob: VecDeque::new(),
+            stats: NicStats::default(),
+        }
+    }
+
+    /// Number of currently live (created, not destroyed) VIs. This is the
+    /// "active VIs" count whose growth degrades Berkeley VIA (paper Fig. 1).
+    pub fn live_vis(&self) -> usize {
+        (self.stats.vis_created - self.stats.vis_destroyed) as usize
+    }
+
+    /// Create a VI, respecting the per-NIC limit.
+    pub fn create_vi(&mut self, max_vis: usize) -> Result<ViId, ViaError> {
+        if self.live_vis() >= max_vis {
+            return Err(ViaError::TooManyVis);
+        }
+        let id = ViId(self.vis.len() as u32);
+        self.vis.push(Vi::new());
+        self.stats.vis_created += 1;
+        self.stats.vis_peak = self.stats.vis_peak.max(self.live_vis() as u64);
+        Ok(id)
+    }
+
+    /// Look up a live VI.
+    pub fn vi(&self, id: ViId) -> Result<&Vi, ViaError> {
+        match self.vis.get(id.0 as usize) {
+            Some(v) if !v.destroyed => Ok(v),
+            _ => Err(ViaError::InvalidVi),
+        }
+    }
+
+    /// Look up a live VI mutably.
+    pub fn vi_mut(&mut self, id: ViId) -> Result<&mut Vi, ViaError> {
+        match self.vis.get_mut(id.0 as usize) {
+            Some(v) if !v.destroyed => Ok(v),
+            _ => Err(ViaError::InvalidVi),
+        }
+    }
+
+    /// Destroy a VI (its slot id is retired, never reused).
+    pub fn destroy_vi(&mut self, id: ViId) -> Result<(), ViaError> {
+        let vi = self.vi_mut(id)?;
+        vi.destroyed = true;
+        vi.state = ViState::Error;
+        vi.recv_q.clear();
+        self.stats.vis_destroyed += 1;
+        Ok(())
+    }
+
+    /// Register (pin) `len` bytes, respecting the pin limit.
+    pub fn register(&mut self, len: usize, max_pinned: usize) -> Result<MemHandle, ViaError> {
+        if self.stats.pinned_now + len > max_pinned {
+            return Err(ViaError::PinLimitExceeded {
+                requested: len,
+                available: max_pinned - self.stats.pinned_now,
+            });
+        }
+        let h = MemHandle(self.regions.len() as u32);
+        self.regions.push(Region {
+            data: vec![0; len],
+            active: true,
+        });
+        self.stats.pinned_now += len;
+        self.stats.pinned_peak = self.stats.pinned_peak.max(self.stats.pinned_now);
+        Ok(h)
+    }
+
+    /// Deregister a region, releasing its pinned bytes.
+    pub fn deregister(&mut self, h: MemHandle) -> Result<(), ViaError> {
+        let r = self
+            .regions
+            .get_mut(h.0 as usize)
+            .ok_or(ViaError::InvalidMem)?;
+        if !r.active {
+            return Err(ViaError::InvalidMem);
+        }
+        r.active = false;
+        self.stats.pinned_now -= r.data.len();
+        let freed = std::mem::take(&mut r.data);
+        drop(freed);
+        Ok(())
+    }
+
+    /// Validate a `(mem, off, len)` triple against a live region.
+    pub fn check_bounds(&self, mem: MemHandle, off: usize, len: usize) -> Result<(), ViaError> {
+        let r = self
+            .regions
+            .get(mem.0 as usize)
+            .ok_or(ViaError::InvalidMem)?;
+        if !r.active {
+            return Err(ViaError::InvalidMem);
+        }
+        if off.checked_add(len).is_none_or(|end| end > r.data.len()) {
+            return Err(ViaError::OutOfBounds);
+        }
+        Ok(())
+    }
+
+    /// Allocate the next descriptor id.
+    pub fn alloc_desc(&mut self) -> DescId {
+        let d = DescId(self.next_desc);
+        self.next_desc += 1;
+        self.stats.descs_posted += 1;
+        d
+    }
+
+    /// Record externally visible activity and drain the waiter list into
+    /// `wake` (the caller wakes them through the engine API).
+    pub fn bump_activity(&mut self, wake: &mut Vec<ProcId>) {
+        self.activity += 1;
+        wake.append(&mut self.waiters);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vi_ids_are_never_reused() {
+        let mut nic = Nic::new(0);
+        let a = nic.create_vi(16).unwrap();
+        nic.destroy_vi(a).unwrap();
+        let b = nic.create_vi(16).unwrap();
+        assert_ne!(a, b);
+        assert!(nic.vi(a).is_err(), "destroyed VI is invalid");
+        assert!(nic.vi(b).is_ok());
+    }
+
+    #[test]
+    fn vi_limit_counts_live_not_cumulative() {
+        let mut nic = Nic::new(0);
+        let a = nic.create_vi(2).unwrap();
+        let _b = nic.create_vi(2).unwrap();
+        assert_eq!(nic.create_vi(2).unwrap_err(), ViaError::TooManyVis);
+        nic.destroy_vi(a).unwrap();
+        assert!(nic.create_vi(2).is_ok(), "destroying frees a slot");
+        assert_eq!(nic.stats.vis_created, 3);
+        assert_eq!(nic.stats.vis_peak, 2);
+    }
+
+    #[test]
+    fn pin_accounting_tracks_peak_and_current() {
+        let mut nic = Nic::new(0);
+        let a = nic.register(1000, 2000).unwrap();
+        let err = nic.register(1500, 2000).unwrap_err();
+        assert!(matches!(err, ViaError::PinLimitExceeded { available: 1000, .. }));
+        let b = nic.register(1000, 2000).unwrap();
+        assert_eq!(nic.stats.pinned_now, 2000);
+        nic.deregister(a).unwrap();
+        assert_eq!(nic.stats.pinned_now, 1000);
+        assert_eq!(nic.stats.pinned_peak, 2000);
+        assert!(nic.deregister(a).is_err(), "double deregister rejected");
+        nic.deregister(b).unwrap();
+        assert_eq!(nic.stats.pinned_now, 0);
+    }
+
+    #[test]
+    fn bounds_checking() {
+        let mut nic = Nic::new(0);
+        let h = nic.register(100, 1 << 20).unwrap();
+        assert!(nic.check_bounds(h, 0, 100).is_ok());
+        assert!(nic.check_bounds(h, 50, 50).is_ok());
+        assert_eq!(nic.check_bounds(h, 50, 51), Err(ViaError::OutOfBounds));
+        assert_eq!(
+            nic.check_bounds(h, usize::MAX, 2),
+            Err(ViaError::OutOfBounds),
+            "offset overflow is caught"
+        );
+        assert_eq!(
+            nic.check_bounds(MemHandle(99), 0, 1),
+            Err(ViaError::InvalidMem)
+        );
+    }
+
+    #[test]
+    fn activity_bump_drains_waiters() {
+        let mut nic = Nic::new(0);
+        nic.waiters.extend([3, 5]);
+        let mut wake = Vec::new();
+        nic.bump_activity(&mut wake);
+        assert_eq!(wake, vec![3, 5]);
+        assert!(nic.waiters.is_empty());
+        assert_eq!(nic.activity, 1);
+    }
+
+    #[test]
+    fn desc_ids_monotone() {
+        let mut nic = Nic::new(0);
+        let a = nic.alloc_desc();
+        let b = nic.alloc_desc();
+        assert!(b.0 > a.0);
+        assert_eq!(nic.stats.descs_posted, 2);
+    }
+}
