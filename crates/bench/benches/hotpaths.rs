@@ -1,12 +1,15 @@
 //! Microbenchmarks of the protocol hot paths: wire-header codec, matching
-//! queues, the event heap, and the engine's context-switch cost.
+//! queues, the event heap, and the engine's context-switch cost. The
+//! engine benches are the before/after yardstick for the self-resume fast
+//! path: run once normally and once with `VIAMPI_NO_FASTPATH=1` to see
+//! the scheduler round trip it removes.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use viampi_bench::minibench::{black_box, Bench};
 use viampi_core::matching::{MatchEngine, PostedRecv, Unexpected, UnexpectedBody};
 use viampi_core::protocol::{Header, MsgKind};
 use viampi_sim::{Engine, EventQueue, SimDuration, SimTime, SplitMix64};
 
-fn bench_header_codec(c: &mut Criterion) {
+fn bench_header_codec(b: &mut Bench) {
     let h = Header {
         kind: MsgKind::Eager,
         credits: 3,
@@ -17,99 +20,120 @@ fn bench_header_codec(c: &mut Criterion) {
         aux2: 0x1234_5678,
         len: 4096,
     };
-    c.bench_function("header_encode", |b| {
+    b.run("header_encode", || {
         let mut buf = [0u8; 32];
-        b.iter(|| {
-            h.encode(black_box(&mut buf));
-            black_box(buf);
-        })
+        h.encode(black_box(&mut buf));
+        buf
     });
     let bytes = h.to_bytes();
-    c.bench_function("header_decode", |b| {
-        b.iter(|| Header::decode(black_box(&bytes)).unwrap())
+    b.run("header_decode", || {
+        Header::decode(black_box(&bytes)).unwrap()
     });
 }
 
-fn bench_matching(c: &mut Criterion) {
-    c.bench_function("match_post_and_consume_64", |b| {
-        b.iter(|| {
-            let mut m = MatchEngine::new();
-            for i in 0..64u64 {
-                m.post_recv(PostedRecv {
-                    req: i,
-                    context: 0,
-                    src: Some((i % 8) as u32),
-                    tag: Some(i as i32),
-                });
-            }
-            for i in 0..64u64 {
-                black_box(m.incoming(0, (i % 8) as u32, i as i32));
-            }
-        })
+fn bench_matching(b: &mut Bench) {
+    b.run("match_post_and_consume_64", || {
+        let mut m = MatchEngine::new();
+        for i in 0..64u64 {
+            m.post_recv(PostedRecv {
+                req: i,
+                context: 0,
+                src: Some((i % 8) as u32),
+                tag: Some(i as i32),
+            });
+        }
+        for i in 0..64u64 {
+            black_box(m.incoming(0, (i % 8) as u32, i as i32));
+        }
     });
-    c.bench_function("match_unexpected_scan_64", |b| {
-        b.iter(|| {
-            let mut m = MatchEngine::new();
-            for i in 0..64u32 {
-                m.push_unexpected(Unexpected {
-                    context: 0,
-                    src: i % 8,
-                    tag: i as i32,
-                    body: UnexpectedBody::Eager(vec![0u8; 16]),
-                });
-            }
-            for i in (0..64u64).rev() {
-                black_box(m.post_recv(PostedRecv {
-                    req: i,
-                    context: 0,
-                    src: Some((i % 8) as u32),
-                    tag: Some(i as i32),
-                }));
-            }
-        })
+    b.run("match_unexpected_scan_64", || {
+        let mut m = MatchEngine::new();
+        for i in 0..64u32 {
+            m.push_unexpected(Unexpected {
+                context: 0,
+                src: i % 8,
+                tag: i as i32,
+                body: UnexpectedBody::Eager(vec![0u8; 16]),
+            });
+        }
+        for i in (0..64u64).rev() {
+            black_box(m.post_recv(PostedRecv {
+                req: i,
+                context: 0,
+                src: Some((i % 8) as u32),
+                tag: Some(i as i32),
+            }));
+        }
     });
 }
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("event_queue_push_pop_1k", |b| {
+fn bench_event_queue(b: &mut Bench) {
+    b.run("event_queue_push_pop_1k", || {
         let mut rng = SplitMix64::new(7);
-        b.iter(|| {
-            let mut q = EventQueue::new();
+        let mut q = EventQueue::new();
+        for i in 0..1000u64 {
+            q.push(SimTime(rng.next_below(1_000_000)), i);
+        }
+        while let Some(e) = q.pop() {
+            black_box(e);
+        }
+    });
+    b.run("event_queue_reused_push_pop_1k", || {
+        // Capacity-reuse path: one long-lived queue, drained each round.
+        let mut rng = SplitMix64::new(7);
+        let mut q = EventQueue::with_capacity(1024);
+        for _ in 0..4 {
             for i in 0..1000u64 {
                 q.push(SimTime(rng.next_below(1_000_000)), i);
             }
             while let Some(e) = q.pop() {
                 black_box(e);
             }
-        })
+        }
     });
 }
 
-fn bench_engine_switch(c: &mut Criterion) {
-    // Cost of one advance() round-trip through the scheduler.
-    struct Nop;
-    impl viampi_sim::World for Nop {
-        type Event = ();
-        fn handle_event(&mut self, _: (), _: &mut viampi_sim::Api<'_, ()>) {}
-    }
-    c.bench_function("engine_1k_advances", |b| {
-        b.iter(|| {
-            let mut eng = Engine::new(Nop);
-            eng.spawn("p", |ctx| {
-                for _ in 0..1000 {
+struct Nop;
+impl viampi_sim::World for Nop {
+    type Event = ();
+    fn handle_event(&mut self, _: (), _: &mut viampi_sim::Api<'_, ()>) {}
+}
+
+fn bench_engine(b: &mut Bench) {
+    // Cost of one advance() through the scheduler. With the fast path a
+    // lone process self-resumes; with VIAMPI_NO_FASTPATH=1 every advance
+    // is a full notify/park/unpark round trip.
+    b.run("engine_1k_advances", || {
+        let mut eng = Engine::new(Nop);
+        eng.spawn("p", |ctx| {
+            for _ in 0..1000 {
+                ctx.advance(SimDuration::nanos(10));
+            }
+        });
+        eng.run().unwrap()
+    });
+    // Token passing between two runnable processes: the fast path cannot
+    // apply (the peer is always earlier), so this isolates the true
+    // cross-thread handoff cost that repro_all pays inside every
+    // multi-rank simulation.
+    b.run("engine_1k_token_passes", || {
+        let mut eng = Engine::new(Nop);
+        for p in 0..2 {
+            eng.spawn(format!("p{p}"), |ctx| {
+                for _ in 0..500 {
                     ctx.advance(SimDuration::nanos(10));
                 }
             });
-            eng.run().unwrap()
-        })
+        }
+        eng.run().unwrap()
     });
 }
 
-criterion_group!(
-    benches,
-    bench_header_codec,
-    bench_matching,
-    bench_event_queue,
-    bench_engine_switch
-);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bench::from_args();
+    bench_header_codec(&mut b);
+    bench_matching(&mut b);
+    bench_event_queue(&mut b);
+    bench_engine(&mut b);
+    b.finish("bench_hotpaths");
+}

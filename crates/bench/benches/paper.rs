@@ -1,174 +1,107 @@
-//! One Criterion benchmark per paper table/figure: each measures the wall
-//! time of regenerating a scaled-down instance of that experiment, so
+//! One benchmark per paper table/figure: each measures the wall time of
+//! regenerating a scaled-down instance of that experiment, so
 //! `cargo bench` exercises every reproduction path end-to-end.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use viampi_bench::experiments::{npb_point, Prog};
 use viampi_bench::micro;
+use viampi_bench::minibench::Bench;
 use viampi_core::{ConnMode, Device, Universe, WaitPolicy};
 use viampi_npb::{llc, patterns, Class};
 use viampi_via::DeviceProfile;
 
-fn cfg(c: &mut Criterion) -> &mut Criterion {
-    c
-}
-
-fn bench_fig1(c: &mut Criterion) {
-    cfg(c).bench_function("fig1_bvia_latency_8vis", |b| {
-        b.iter(|| micro::via_latency_with_idle_vis(DeviceProfile::berkeley(), 4, 8))
+fn main() {
+    let mut b = Bench::from_args();
+    b.run("fig1_bvia_latency_8vis", || {
+        micro::via_latency_with_idle_vis(DeviceProfile::berkeley(), 4, 8)
     });
-}
-
-fn bench_tab1(c: &mut Criterion) {
-    cfg(c).bench_function("tab1_patterns_64", |b| {
-        b.iter(|| {
-            let mut acc = 0.0;
-            acc += patterns::average_destinations(&patterns::sppm(64));
-            acc += patterns::average_destinations(&patterns::smg2000(64));
-            acc += patterns::average_destinations(&patterns::sphot(64));
-            acc += patterns::average_destinations(&patterns::sweep3d(64));
-            acc += patterns::average_destinations(&patterns::samrai(64));
-            acc += patterns::average_destinations(&patterns::cg(64));
-            acc
-        })
+    b.run("tab1_patterns_64", || {
+        let mut acc = 0.0;
+        acc += patterns::average_destinations(&patterns::sppm(64));
+        acc += patterns::average_destinations(&patterns::smg2000(64));
+        acc += patterns::average_destinations(&patterns::sphot(64));
+        acc += patterns::average_destinations(&patterns::sweep3d(64));
+        acc += patterns::average_destinations(&patterns::samrai(64));
+        acc += patterns::average_destinations(&patterns::cg(64));
+        acc
     });
-}
-
-fn bench_tab2(c: &mut Criterion) {
-    cfg(c).bench_function("tab2_ring_vis_np8", |b| {
-        b.iter(|| {
-            Universe::new(8, Device::Clan, ConnMode::OnDemand, WaitPolicy::Polling)
-                .run(|mpi| {
-                    viampi_npb::ring::run(mpi, 2, 64);
-                    mpi.live_vis()
-                })
-                .unwrap()
-                .avg_vis()
-        })
+    b.run("tab2_ring_vis_np8", || {
+        Universe::new(8, Device::Clan, ConnMode::OnDemand, WaitPolicy::Polling)
+            .run(|mpi| {
+                viampi_npb::ring::run(mpi, 2, 64);
+                mpi.live_vis()
+            })
+            .unwrap()
+            .avg_vis()
     });
-}
-
-fn bench_fig2(c: &mut Criterion) {
-    cfg(c).bench_function("fig2_latency_point", |b| {
-        b.iter(|| {
-            micro::pingpong_latency(
-                Device::Clan,
-                ConnMode::OnDemand,
-                WaitPolicy::Polling,
-                4,
-                50,
-            )
-        })
+    b.run("fig2_latency_point", || {
+        micro::pingpong_latency(Device::Clan, ConnMode::OnDemand, WaitPolicy::Polling, 4, 50)
     });
-}
-
-fn bench_fig3(c: &mut Criterion) {
-    cfg(c).bench_function("fig3_bandwidth_point", |b| {
-        b.iter(|| {
-            micro::bandwidth(
-                Device::Clan,
-                ConnMode::OnDemand,
-                WaitPolicy::Polling,
-                8192,
-                5,
-                8,
-            )
-        })
+    b.run("fig3_bandwidth_point", || {
+        micro::bandwidth(
+            Device::Clan,
+            ConnMode::OnDemand,
+            WaitPolicy::Polling,
+            8192,
+            5,
+            8,
+        )
     });
-}
-
-fn bench_fig4(c: &mut Criterion) {
-    cfg(c).bench_function("fig4_barrier_np8", |b| {
-        b.iter(|| {
-            Universe::new(8, Device::Clan, ConnMode::OnDemand, WaitPolicy::Polling)
-                .run(|mpi| llc::barrier_latency(mpi, 50))
-                .unwrap()
-                .results[0]
-        })
+    b.run("fig4_barrier_np8", || {
+        Universe::new(8, Device::Clan, ConnMode::OnDemand, WaitPolicy::Polling)
+            .run(|mpi| llc::barrier_latency(mpi, 50))
+            .unwrap()
+            .results[0]
     });
-}
-
-fn bench_fig5(c: &mut Criterion) {
-    cfg(c).bench_function("fig5_allreduce_np8", |b| {
-        b.iter(|| {
-            Universe::new(8, Device::Clan, ConnMode::OnDemand, WaitPolicy::Polling)
-                .run(|mpi| llc::allreduce_latency(mpi, 50, 1))
-                .unwrap()
-                .results[0]
-        })
+    b.run("fig5_allreduce_np8", || {
+        Universe::new(8, Device::Clan, ConnMode::OnDemand, WaitPolicy::Polling)
+            .run(|mpi| llc::allreduce_latency(mpi, 50, 1))
+            .unwrap()
+            .results[0]
     });
-}
-
-fn bench_fig6(c: &mut Criterion) {
-    cfg(c).bench_function("fig6_cg_s16_on_demand", |b| {
-        b.iter(|| {
-            npb_point(
-                Device::Clan,
-                ("on-demand", ConnMode::OnDemand, WaitPolicy::Polling),
-                Prog::Cg,
-                Class::S,
-                16,
-            )
-        })
+    b.run("fig6_cg_s16_on_demand", || {
+        npb_point(
+            Device::Clan,
+            ("on-demand", ConnMode::OnDemand, WaitPolicy::Polling),
+            Prog::Cg,
+            Class::S,
+            16,
+        )
     });
-}
-
-fn bench_fig7(c: &mut Criterion) {
-    cfg(c).bench_function("fig7_is_s8_bvia", |b| {
-        b.iter(|| {
-            npb_point(
-                Device::Berkeley,
-                ("on-demand", ConnMode::OnDemand, WaitPolicy::Polling),
-                Prog::Is,
-                Class::S,
-                8,
-            )
-        })
+    b.run("fig7_is_s8_bvia", || {
+        npb_point(
+            Device::Berkeley,
+            ("on-demand", ConnMode::OnDemand, WaitPolicy::Polling),
+            Prog::Is,
+            Class::S,
+            8,
+        )
     });
-}
-
-fn bench_tab3(c: &mut Criterion) {
-    cfg(c).bench_function("tab3_ep_s8_static", |b| {
-        b.iter(|| {
-            npb_point(
-                Device::Clan,
-                (
-                    "static-polling",
-                    ConnMode::StaticPeerToPeer,
-                    WaitPolicy::Polling,
-                ),
-                Prog::Ep,
-                Class::S,
-                8,
-            )
-        })
-    });
-}
-
-fn bench_fig8(c: &mut Criterion) {
-    cfg(c).bench_function("fig8_init_np8_all_modes", |b| {
-        b.iter(|| {
-            let mut total = 0u64;
-            for mode in [
-                ConnMode::StaticClientServer,
+    b.run("tab3_ep_s8_static", || {
+        npb_point(
+            Device::Clan,
+            (
+                "static-polling",
                 ConnMode::StaticPeerToPeer,
-                ConnMode::OnDemand,
-            ] {
-                let r = Universe::new(8, Device::Clan, mode, WaitPolicy::Polling)
-                    .run(|_| ())
-                    .unwrap();
-                total += r.avg_init_time().as_nanos();
-            }
-            total
-        })
+                WaitPolicy::Polling,
+            ),
+            Prog::Ep,
+            Class::S,
+            8,
+        )
     });
+    b.run("fig8_init_np8_all_modes", || {
+        let mut total = 0u64;
+        for mode in [
+            ConnMode::StaticClientServer,
+            ConnMode::StaticPeerToPeer,
+            ConnMode::OnDemand,
+        ] {
+            let r = Universe::new(8, Device::Clan, mode, WaitPolicy::Polling)
+                .run(|_| ())
+                .unwrap();
+            total += r.avg_init_time().as_nanos();
+        }
+        total
+    });
+    b.finish("bench_paper");
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_fig1, bench_tab1, bench_tab2, bench_fig2, bench_fig3,
-              bench_fig4, bench_fig5, bench_fig6, bench_fig7, bench_tab3,
-              bench_fig8
-}
-criterion_main!(benches);

@@ -1,5 +1,6 @@
 //! Runs the four design-choice ablations from DESIGN.md.
 fn main() {
+    viampi_bench::runner::init_from_args();
     let (a, _) = viampi_bench::ablation::spincount(8);
     println!("{a}");
     let (b, _) = viampi_bench::ablation::eager_threshold();

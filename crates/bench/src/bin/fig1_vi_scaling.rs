@@ -1,5 +1,6 @@
 //! Regenerates the paper's Figure 1 (BVIA latency vs active VIs).
 fn main() {
+    viampi_bench::runner::init_from_args();
     let (text, _) = viampi_bench::experiments::fig1();
     println!("{text}");
 }

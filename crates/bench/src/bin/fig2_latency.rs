@@ -1,5 +1,6 @@
 //! Regenerates the paper's Figure 2 (latency vs message size).
 fn main() {
+    viampi_bench::runner::init_from_args();
     let (text, _) = viampi_bench::experiments::fig2();
     println!("{text}");
 }

@@ -1,5 +1,6 @@
 //! Regenerates the paper's Figure 3 (bandwidth vs message size).
 fn main() {
+    viampi_bench::runner::init_from_args();
     let (text, _) = viampi_bench::experiments::fig3();
     println!("{text}");
 }

@@ -1,5 +1,6 @@
 //! Regenerates the paper's Figure 4 (barrier latency vs process count).
 fn main() {
+    viampi_bench::runner::init_from_args();
     let (text, _) = viampi_bench::experiments::fig4();
     println!("{text}");
 }

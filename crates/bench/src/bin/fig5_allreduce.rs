@@ -1,5 +1,6 @@
 //! Regenerates the paper's Figure 5 (allreduce latency vs process count).
 fn main() {
+    viampi_bench::runner::init_from_args();
     let (text, _) = viampi_bench::experiments::fig5();
     println!("{text}");
 }

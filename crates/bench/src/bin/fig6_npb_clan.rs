@@ -2,6 +2,7 @@
 use viampi_bench::experiments::{fig6_instances, npb_figure};
 use viampi_core::Device;
 fn main() {
+    viampi_bench::runner::init_from_args();
     let (text, _) = npb_figure("fig6_npb_clan", Device::Clan, &fig6_instances());
     println!("{text}");
 }

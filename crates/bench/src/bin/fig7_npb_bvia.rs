@@ -2,6 +2,7 @@
 use viampi_bench::experiments::{fig7_instances, npb_figure};
 use viampi_core::Device;
 fn main() {
+    viampi_bench::runner::init_from_args();
     let (text, _) = npb_figure("fig7_npb_bvia", Device::Berkeley, &fig7_instances());
     println!("{text}");
 }

@@ -1,5 +1,6 @@
 //! Regenerates the paper's Figure 8 (MPI_Init time vs process count).
 fn main() {
+    viampi_bench::runner::init_from_args();
     let (text, _) = viampi_bench::experiments::fig8();
     println!("{text}");
 }

@@ -3,6 +3,7 @@
 use viampi_bench::experiments::{npb_figure, supplement_instances};
 use viampi_core::Device;
 fn main() {
+    viampi_bench::runner::init_from_args();
     let (text, _) = npb_figure("ft_lu_supplement", Device::Clan, &supplement_instances());
     println!("{text}");
 }

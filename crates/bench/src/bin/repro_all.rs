@@ -1,11 +1,20 @@
-//! Runs every experiment in sequence, printing each table/series and
-//! refreshing `results/*.json`. This is the one-shot paper reproduction.
-use viampi_bench::{ablation, experiments};
+//! Runs every experiment, printing each table/series and refreshing
+//! `results/*.json`. This is the one-shot paper reproduction.
+//!
+//! Each experiment fans its independent simulations out over the worker
+//! pool (`--jobs N` or `VIAMPI_JOBS`, default: all cores); figure/table
+//! JSON is byte-identical at any worker count, and the wall-clock and
+//! events/sec per experiment land separately in `results/perf.json`.
+use viampi_bench::{ablation, experiments, runner};
 use viampi_core::Device;
 
 fn main() {
+    runner::init_from_args();
     let t0 = std::time::Instant::now();
-    println!("== viampi paper reproduction: all experiments ==\n");
+    println!(
+        "== viampi paper reproduction: all experiments ({} jobs) ==\n",
+        runner::jobs()
+    );
     let (s, _) = experiments::fig1();
     println!("{s}");
     let (s, _) = experiments::tab1();
@@ -44,6 +53,7 @@ fn main() {
     println!("{s}");
     let (s, _) = ablation::dynamic_window();
     println!("{s}");
+    println!("{}", runner::write_perf("perf"));
     println!(
         "\nall experiments regenerated in {:.1}s (wall); JSON written to results/",
         t0.elapsed().as_secs_f64()

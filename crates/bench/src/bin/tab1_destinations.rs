@@ -1,5 +1,6 @@
 //! Regenerates the paper's Table 1 (distinct destinations per process).
 fn main() {
+    viampi_bench::runner::init_from_args();
     let (text, _) = viampi_bench::experiments::tab1();
     println!("{text}");
 }

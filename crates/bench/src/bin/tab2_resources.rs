@@ -1,5 +1,6 @@
 //! Regenerates the paper's Table 2 (VIs and resource utilization).
 fn main() {
+    viampi_bench::runner::init_from_args();
     let (text, _) = viampi_bench::experiments::tab2(&[16, 32]);
     println!("{text}");
 }

@@ -2,6 +2,7 @@
 use viampi_bench::experiments::{fig6_instances, fig7_instances, npb_figure};
 use viampi_core::Device;
 fn main() {
+    viampi_bench::runner::init_from_args();
     let (clan, _) = npb_figure("tab3_clan", Device::Clan, &fig6_instances());
     let (bvia, _) = npb_figure("tab3_bvia", Device::Berkeley, &fig7_instances());
     println!("Table 3 — actual CPU times\n");

@@ -1,9 +1,15 @@
 //! One driver per paper table/figure. Each returns printable text and
 //! writes a JSON record under `results/`.
+//!
+//! Every driver fans its configuration grid out over [`crate::runner`]'s
+//! worker pool: each grid point is an independent deterministic
+//! simulation, and results are collected by index, so the tables and JSON
+//! records are byte-identical at any `--jobs` setting.
 
+use crate::impl_json;
 use crate::micro;
 use crate::report::{fmt, table, write_json};
-use serde::Serialize;
+use crate::runner;
 use viampi_core::{ConnMode, Device, Mpi, Universe, WaitPolicy};
 use viampi_npb::{adi, cg, ep, ft, is, llc, lu, mg, patterns, ring, Class};
 use viampi_via::DeviceProfile;
@@ -15,13 +21,21 @@ pub const CLAN_CONFIGS: [(&str, ConnMode, WaitPolicy); 3] = [
         ConnMode::StaticPeerToPeer,
         WaitPolicy::SpinWait { spincount: 100 },
     ),
-    ("static-polling", ConnMode::StaticPeerToPeer, WaitPolicy::Polling),
+    (
+        "static-polling",
+        ConnMode::StaticPeerToPeer,
+        WaitPolicy::Polling,
+    ),
     ("on-demand", ConnMode::OnDemand, WaitPolicy::Polling),
 ];
 
 /// The two Berkeley-VIA configurations (wait == poll there).
 pub const BVIA_CONFIGS: [(&str, ConnMode, WaitPolicy); 2] = [
-    ("static-polling", ConnMode::StaticPeerToPeer, WaitPolicy::Polling),
+    (
+        "static-polling",
+        ConnMode::StaticPeerToPeer,
+        WaitPolicy::Polling,
+    ),
     ("on-demand", ConnMode::OnDemand, WaitPolicy::Polling),
 ];
 
@@ -30,7 +44,7 @@ pub const BVIA_CONFIGS: [(&str, ConnMode, WaitPolicy); 2] = [
 // ========================================================================
 
 /// One Fig. 1 series point.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig1Point {
     /// Device profile name.
     pub device: String,
@@ -42,25 +56,34 @@ pub struct Fig1Point {
     pub latency_us: f64,
 }
 
+impl_json!(Fig1Point {
+    device,
+    size,
+    active_vis,
+    latency_us
+});
+
 /// Reproduce Fig. 1: VIA-level latency as a function of active VIs.
 pub fn fig1() -> (String, Vec<Fig1Point>) {
-    let mut points = Vec::new();
+    let mut items = Vec::new();
     for (dev, profile) in [
         ("bvia", DeviceProfile::berkeley()),
         ("clan", DeviceProfile::clan()),
     ] {
         for &size in &[4usize, 1024, 4096] {
             for idle in [0usize, 1, 3, 7, 11, 15] {
-                let lat = micro::via_latency_with_idle_vis(profile.clone(), size, idle);
-                points.push(Fig1Point {
-                    device: dev.into(),
-                    size,
-                    active_vis: idle + 1,
-                    latency_us: lat,
-                });
+                items.push((dev, profile.clone(), size, idle));
             }
         }
     }
+    let points = runner::timed("fig1_vi_scaling", || {
+        runner::par_map(items, |(dev, profile, size, idle)| Fig1Point {
+            device: dev.into(),
+            size,
+            active_vis: idle + 1,
+            latency_us: micro::via_latency_with_idle_vis(profile, size, idle),
+        })
+    });
     write_json("fig1_vi_scaling", &points);
     let rows: Vec<Vec<String>> = points
         .iter()
@@ -85,7 +108,7 @@ pub fn fig1() -> (String, Vec<Fig1Point>) {
 // ========================================================================
 
 /// One Table 1 row.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Tab1Row {
     /// Application model.
     pub app: String,
@@ -96,6 +119,13 @@ pub struct Tab1Row {
     /// The paper's value (from Vetter & Mueller), for comparison.
     pub paper: f64,
 }
+
+impl_json!(Tab1Row {
+    app,
+    np,
+    avg_destinations,
+    paper
+});
 
 /// Reproduce Table 1 from the pattern generators.
 pub fn tab1() -> (String, Vec<Tab1Row>) {
@@ -144,7 +174,7 @@ pub fn tab1() -> (String, Vec<Tab1Row>) {
 // ========================================================================
 
 /// One Table 2 row.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Tab2Row {
     /// Workload.
     pub app: String,
@@ -164,58 +194,111 @@ pub struct Tab2Row {
     pub ondemand_pinned: usize,
 }
 
+impl_json!(Tab2Row {
+    app,
+    np,
+    static_vis,
+    ondemand_vis,
+    static_util,
+    ondemand_util,
+    static_pinned,
+    ondemand_pinned,
+});
+
 type Workload = Box<dyn Fn(&Mpi) + Send + Sync>;
 
 fn tab2_workloads(np: usize) -> Vec<(&'static str, Workload)> {
     let mut v: Vec<(&'static str, Workload)> = vec![
-        ("Ring", Box::new(|mpi: &Mpi| {
-            ring::run(mpi, 4, 64);
-        })),
-        ("Barrier", Box::new(|mpi: &Mpi| {
-            llc::barrier_latency(mpi, 20);
-        })),
-        ("Allreduce", Box::new(|mpi: &Mpi| {
-            llc::allreduce_latency(mpi, 20, 4);
-        })),
-        ("Alltoall", Box::new(|mpi: &Mpi| {
-            llc::alltoall_latency(mpi, 5, 64);
-        })),
-        ("Allgather", Box::new(|mpi: &Mpi| {
-            llc::allgather_latency(mpi, 5, 64);
-        })),
-        ("Bcast", Box::new(|mpi: &Mpi| {
-            llc::bcast_latency(mpi, 20, 64);
-        })),
-        ("CG", Box::new(|mpi: &Mpi| {
-            cg::run(mpi, Class::S);
-        })),
-        ("MG", Box::new(|mpi: &Mpi| {
-            mg::run(mpi, Class::S);
-        })),
-        ("IS", Box::new(|mpi: &Mpi| {
-            is::run(mpi, Class::S);
-        })),
-        ("EP", Box::new(|mpi: &Mpi| {
-            ep::run(mpi, Class::S);
-        })),
+        (
+            "Ring",
+            Box::new(|mpi: &Mpi| {
+                ring::run(mpi, 4, 64);
+            }),
+        ),
+        (
+            "Barrier",
+            Box::new(|mpi: &Mpi| {
+                llc::barrier_latency(mpi, 20);
+            }),
+        ),
+        (
+            "Allreduce",
+            Box::new(|mpi: &Mpi| {
+                llc::allreduce_latency(mpi, 20, 4);
+            }),
+        ),
+        (
+            "Alltoall",
+            Box::new(|mpi: &Mpi| {
+                llc::alltoall_latency(mpi, 5, 64);
+            }),
+        ),
+        (
+            "Allgather",
+            Box::new(|mpi: &Mpi| {
+                llc::allgather_latency(mpi, 5, 64);
+            }),
+        ),
+        (
+            "Bcast",
+            Box::new(|mpi: &Mpi| {
+                llc::bcast_latency(mpi, 20, 64);
+            }),
+        ),
+        (
+            "CG",
+            Box::new(|mpi: &Mpi| {
+                cg::run(mpi, Class::S);
+            }),
+        ),
+        (
+            "MG",
+            Box::new(|mpi: &Mpi| {
+                mg::run(mpi, Class::S);
+            }),
+        ),
+        (
+            "IS",
+            Box::new(|mpi: &Mpi| {
+                is::run(mpi, Class::S);
+            }),
+        ),
+        (
+            "EP",
+            Box::new(|mpi: &Mpi| {
+                ep::run(mpi, Class::S);
+            }),
+        ),
         // FT needs the grid side divisible by np: class S (16³) up to 16
         // ranks, class A (32³) beyond.
-        ("FT", Box::new(|mpi: &Mpi| {
-            let class = if mpi.size() > 16 { Class::A } else { Class::S };
-            ft::run(mpi, class);
-        })),
+        (
+            "FT",
+            Box::new(|mpi: &Mpi| {
+                let class = if mpi.size() > 16 { Class::A } else { Class::S };
+                ft::run(mpi, class);
+            }),
+        ),
     ];
     // SP/BT need square rank counts: 16 yes, 32 no (paper uses 36).
     if (np as f64).sqrt().fract() == 0.0 {
-        v.push(("SP", Box::new(|mpi: &Mpi| {
-            adi::run(mpi, adi::App::Sp, Class::S);
-        })));
-        v.push(("BT", Box::new(|mpi: &Mpi| {
-            adi::run(mpi, adi::App::Bt, Class::S);
-        })));
-        v.push(("LU", Box::new(|mpi: &Mpi| {
-            lu::run(mpi, Class::S);
-        })));
+        v.push((
+            "SP",
+            Box::new(|mpi: &Mpi| {
+                adi::run(mpi, adi::App::Sp, Class::S);
+            }),
+        ));
+        v.push((
+            "BT",
+            Box::new(|mpi: &Mpi| {
+                adi::run(mpi, adi::App::Bt, Class::S);
+            }),
+        ));
+        v.push((
+            "LU",
+            Box::new(|mpi: &Mpi| {
+                lu::run(mpi, Class::S);
+            }),
+        ));
     }
     v
 }
@@ -243,10 +326,10 @@ fn measure_tab2(app: &'static str, np: usize, body: std::sync::Arc<Workload>) ->
 
 /// Reproduce Table 2 at the paper's sizes (16 and 32; SP/BT use 16 and 36).
 pub fn tab2(sizes: &[usize]) -> (String, Vec<Tab2Row>) {
-    let mut data = Vec::new();
+    let mut items: Vec<(&'static str, usize, std::sync::Arc<Workload>)> = Vec::new();
     for &np in sizes {
         for (app, body) in tab2_workloads(np) {
-            data.push(measure_tab2(app, np, std::sync::Arc::new(body)));
+            items.push((app, np, std::sync::Arc::new(body)));
         }
         // SP/BT at 36 when the paper's 32 is requested and 32 isn't square.
         if np == 32 {
@@ -262,10 +345,13 @@ pub fn tab2(sizes: &[usize]) -> (String, Vec<Tab2Row>) {
                         lu::run(mpi, Class::S);
                     }),
                 };
-                data.push(measure_tab2(app, sq, std::sync::Arc::new(body)));
+                items.push((app, sq, std::sync::Arc::new(body)));
             }
         }
     }
+    let data = runner::timed("tab2_resources", || {
+        runner::par_map(items, |(app, np, body)| measure_tab2(app, np, body))
+    });
     write_json("tab2_resources", &data);
     let rows: Vec<Vec<String>> = data
         .iter()
@@ -285,9 +371,7 @@ pub fn tab2(sizes: &[usize]) -> (String, Vec<Tab2Row>) {
     let text = format!(
         "Table 2 — average VIs and resource utilization per process\n\n{}",
         table(
-            &[
-                "app", "size", "VIs st", "VIs od", "util st", "util od", "pin st", "pin od"
-            ],
+            &["app", "size", "VIs st", "VIs od", "util st", "util od", "pin st", "pin od"],
             &rows
         )
     );
@@ -299,7 +383,7 @@ pub fn tab2(sizes: &[usize]) -> (String, Vec<Tab2Row>) {
 // ========================================================================
 
 /// One latency/bandwidth point.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct MicroPoint {
     /// Device.
     pub device: String,
@@ -311,6 +395,13 @@ pub struct MicroPoint {
     pub value: f64,
 }
 
+impl_json!(MicroPoint {
+    device,
+    config,
+    size,
+    value
+});
+
 fn configs_for(device: Device) -> Vec<(&'static str, ConnMode, WaitPolicy)> {
     match device {
         Device::Clan => CLAN_CONFIGS.to_vec(),
@@ -321,20 +412,22 @@ fn configs_for(device: Device) -> Vec<(&'static str, ConnMode, WaitPolicy)> {
 /// Reproduce Fig. 2: one-way latency vs message size.
 pub fn fig2() -> (String, Vec<MicroPoint>) {
     let sizes = [0usize, 4, 16, 64, 256, 1024, 2048, 4096];
-    let mut points = Vec::new();
+    let mut items = Vec::new();
     for device in [Device::Clan, Device::Berkeley] {
         for (label, conn, wait) in configs_for(device) {
             for &size in &sizes {
-                let v = micro::pingpong_latency(device, conn, wait, size, 200);
-                points.push(MicroPoint {
-                    device: device.name().into(),
-                    config: label.into(),
-                    size,
-                    value: v,
-                });
+                items.push((device, label, conn, wait, size));
             }
         }
     }
+    let points = runner::timed("fig2_latency", || {
+        runner::par_map(items, |(device, label, conn, wait, size)| MicroPoint {
+            device: device.name().into(),
+            config: label.into(),
+            size,
+            value: micro::pingpong_latency(device, conn, wait, size, 200),
+        })
+    });
     write_json("fig2_latency", &points);
     let rows: Vec<Vec<String>> = points
         .iter()
@@ -360,20 +453,22 @@ pub fn fig3() -> (String, Vec<MicroPoint>) {
     let sizes = [
         64usize, 256, 1024, 2048, 4096, 4999, 5001, 8192, 16_384, 65_536, 262_144,
     ];
-    let mut points = Vec::new();
+    let mut items = Vec::new();
     for device in [Device::Clan, Device::Berkeley] {
         for (label, conn, wait) in configs_for(device) {
             for &size in &sizes {
-                let v = micro::bandwidth(device, conn, wait, size, 10, 8);
-                points.push(MicroPoint {
-                    device: device.name().into(),
-                    config: label.into(),
-                    size,
-                    value: v,
-                });
+                items.push((device, label, conn, wait, size));
             }
         }
     }
+    let points = runner::timed("fig3_bandwidth", || {
+        runner::par_map(items, |(device, label, conn, wait, size)| MicroPoint {
+            device: device.name().into(),
+            config: label.into(),
+            size,
+            value: micro::bandwidth(device, conn, wait, size, 10, 8),
+        })
+    });
     write_json("fig3_bandwidth", &points);
     let rows: Vec<Vec<String>> = points
         .iter()
@@ -398,7 +493,7 @@ pub fn fig3() -> (String, Vec<MicroPoint>) {
 // ========================================================================
 
 /// One collective-latency point.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct CollPoint {
     /// Device.
     pub device: String,
@@ -410,11 +505,18 @@ pub struct CollPoint {
     pub latency_us: f64,
 }
 
+impl_json!(CollPoint {
+    device,
+    config,
+    np,
+    latency_us
+});
+
 fn collective_sweep(
     op: &'static str,
     f: impl Fn(&Mpi) -> Option<f64> + Send + Sync + Clone + 'static,
 ) -> (String, Vec<CollPoint>) {
-    let mut points = Vec::new();
+    let mut items = Vec::new();
     for device in [Device::Clan, Device::Berkeley] {
         let nps: Vec<usize> = if device == Device::Clan {
             vec![2, 3, 4, 6, 8, 12, 16, 24, 32]
@@ -423,21 +525,26 @@ fn collective_sweep(
         };
         for (label, conn, wait) in configs_for(device) {
             for &np in &nps {
-                let f = f.clone();
-                let report = Universe::new(np, device, conn, wait)
-                    .run(move |mpi| f(mpi))
-                    .unwrap();
-                let lat = report.results[0].expect("rank 0 reports");
-                points.push(CollPoint {
-                    device: device.name().into(),
-                    config: label.into(),
-                    np,
-                    latency_us: lat,
-                });
+                items.push((device, label, conn, wait, np));
             }
         }
     }
-    write_json(&format!("{op}_latency"), &points);
+    let name = format!("{op}_latency");
+    let points = runner::timed(&name, || {
+        runner::par_map(items, |(device, label, conn, wait, np)| {
+            let f = f.clone();
+            let report = Universe::new(np, device, conn, wait)
+                .run(move |mpi| f(mpi))
+                .unwrap();
+            CollPoint {
+                device: device.name().into(),
+                config: label.into(),
+                np,
+                latency_us: report.results[0].expect("rank 0 reports"),
+            }
+        })
+    });
+    write_json(&name, &points);
     let rows: Vec<Vec<String>> = points
         .iter()
         .map(|p| {
@@ -471,7 +578,7 @@ pub fn fig5() -> (String, Vec<CollPoint>) {
 // ========================================================================
 
 /// NPB program selector.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub enum Prog {
     Cg,
@@ -501,7 +608,7 @@ impl Prog {
 }
 
 /// One NPB measurement.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct NpbPoint {
     /// Device.
     pub device: String,
@@ -515,6 +622,14 @@ pub struct NpbPoint {
     /// Verification outcome.
     pub verified: bool,
 }
+
+impl_json!(NpbPoint {
+    device,
+    config,
+    label,
+    time_secs,
+    verified
+});
 
 /// Run one NPB instance under one configuration.
 pub fn npb_point(
@@ -608,12 +723,17 @@ pub fn npb_figure(
     device: Device,
     instances: &[(Prog, Class, usize)],
 ) -> (String, Vec<NpbPoint>) {
-    let mut points = Vec::new();
+    let mut items = Vec::new();
     for &(prog, class, np) in instances {
         for config in configs_for(device) {
-            points.push(npb_point(device, config, prog, class, np));
+            items.push((config, prog, class, np));
         }
     }
+    let points = runner::timed(name, || {
+        runner::par_map(items, |(config, prog, class, np)| {
+            npb_point(device, config, prog, class, np)
+        })
+    });
     write_json(name, &points);
     // Normalized view (paper's y-axis): per instance, divide by the
     // static-polling time.
@@ -631,14 +751,21 @@ pub fn npb_figure(
                 p.config.clone(),
                 format!("{:.3}", p.time_secs),
                 format!("{:.3}", p.time_secs / base),
-                if p.verified { "ok".into() } else { "FAIL".into() },
+                if p.verified {
+                    "ok".into()
+                } else {
+                    "FAIL".into()
+                },
             ]);
         }
     }
     let text = format!(
         "{name} — NPB times on {} (normalized to static-polling)\n\n{}",
         device.name(),
-        table(&["instance", "config", "time (s)", "normalized", "verify"], &rows)
+        table(
+            &["instance", "config", "time (s)", "normalized", "verify"],
+            &rows
+        )
     );
     (text, points)
 }
@@ -648,7 +775,7 @@ pub fn npb_figure(
 // ========================================================================
 
 /// One init-time point.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct InitPoint {
     /// Device.
     pub device: String,
@@ -660,10 +787,17 @@ pub struct InitPoint {
     pub init_ms: f64,
 }
 
+impl_json!(InitPoint {
+    device,
+    mode,
+    np,
+    init_ms
+});
+
 /// Reproduce Fig. 8: `MPI_Init` time vs process count for client/server
 /// static, peer-to-peer static, and on-demand.
 pub fn fig8() -> (String, Vec<InitPoint>) {
-    let mut points = Vec::new();
+    let mut items = Vec::new();
     for device in [Device::Clan, Device::Berkeley] {
         let modes: Vec<ConnMode> = if device == Device::Clan {
             vec![
@@ -682,18 +816,23 @@ pub fn fig8() -> (String, Vec<InitPoint>) {
         };
         for mode in modes {
             for &np in &nps {
-                let report = Universe::new(np, device, mode, WaitPolicy::Polling)
-                    .run(|_mpi| ())
-                    .unwrap();
-                points.push(InitPoint {
-                    device: device.name().into(),
-                    mode: mode.name().into(),
-                    np,
-                    init_ms: report.avg_init_time().as_secs_f64() * 1e3,
-                });
+                items.push((device, mode, np));
             }
         }
     }
+    let points = runner::timed("fig8_init_time", || {
+        runner::par_map(items, |(device, mode, np)| {
+            let report = Universe::new(np, device, mode, WaitPolicy::Polling)
+                .run(|_mpi| ())
+                .unwrap();
+            InitPoint {
+                device: device.name().into(),
+                mode: mode.name().into(),
+                np,
+                init_ms: report.avg_init_time().as_secs_f64() * 1e3,
+            }
+        })
+    });
     write_json("fig8_init_time", &points);
     let rows: Vec<Vec<String>> = points
         .iter()

@@ -23,5 +23,8 @@
 
 pub mod ablation;
 pub mod experiments;
+pub mod json;
 pub mod micro;
+pub mod minibench;
 pub mod report;
+pub mod runner;

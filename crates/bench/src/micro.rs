@@ -63,9 +63,7 @@ pub fn bandwidth(
                     mpi.waitall(&reqs);
                     mpi.recv(Some(1), Some(2));
                 } else {
-                    let reqs: Vec<_> = (0..window)
-                        .map(|_| mpi.irecv(Some(0), Some(1)))
-                        .collect();
+                    let reqs: Vec<_> = (0..window).map(|_| mpi.irecv(Some(0), Some(1))).collect();
                     mpi.waitall(&reqs);
                     mpi.send(&[1], 0, 2);
                 }
@@ -148,13 +146,7 @@ mod tests {
 
     #[test]
     fn latency_grows_with_size() {
-        let l4 = pingpong_latency(
-            Device::Clan,
-            ConnMode::OnDemand,
-            WaitPolicy::Polling,
-            4,
-            30,
-        );
+        let l4 = pingpong_latency(Device::Clan, ConnMode::OnDemand, WaitPolicy::Polling, 4, 30);
         let l4k = pingpong_latency(
             Device::Clan,
             ConnMode::OnDemand,

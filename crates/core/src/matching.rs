@@ -108,9 +108,7 @@ impl MatchEngine {
     /// unexpected message matching the selector.
     pub fn probe(&self, context: u16, src: Option<u32>, tag: Option<i32>) -> Option<&Unexpected> {
         self.unexpected.iter().find(|u| {
-            u.context == context
-                && src.is_none_or(|s| s == u.src)
-                && tag.is_none_or(|t| t == u.tag)
+            u.context == context && src.is_none_or(|s| s == u.src) && tag.is_none_or(|t| t == u.tag)
         })
     }
 
@@ -246,10 +244,19 @@ mod tests {
             context: 0,
             src: 1,
             tag: 2,
-            body: UnexpectedBody::Rts { sreq: 77, len: 1 << 20 },
+            body: UnexpectedBody::Rts {
+                sreq: 77,
+                len: 1 << 20,
+            },
         });
         let u = m.post_recv(recv(9, Some(1), Some(2))).unwrap();
-        assert_eq!(u.body, UnexpectedBody::Rts { sreq: 77, len: 1 << 20 });
+        assert_eq!(
+            u.body,
+            UnexpectedBody::Rts {
+                sreq: 77,
+                len: 1 << 20
+            }
+        );
     }
 
     #[test]

@@ -118,10 +118,7 @@ impl Mpi {
     pub fn isend_mode(&self, buf: &[u8], dst: usize, tag: i32, mode: SendMode) -> Request {
         assert!(tag >= 0, "user tags must be non-negative");
         self.charge_call();
-        let id = self
-            .dev
-            .borrow_mut()
-            .post_send_msg(dst, 0, tag, buf, mode);
+        let id = self.dev.borrow_mut().post_send_msg(dst, 0, tag, buf, mode);
         Request(id)
     }
 

@@ -108,15 +108,24 @@ mod tests {
             },
             TraceEvent {
                 t: SimTime(2_000),
-                kind: TraceKind::ConnEstablished { peer: 3, deferred: 5 },
+                kind: TraceKind::ConnEstablished {
+                    peer: 3,
+                    deferred: 5,
+                },
             },
             TraceEvent {
                 t: SimTime(3_000),
-                kind: TraceKind::WireSent { peer: 3, bytes: 132 },
+                kind: TraceKind::WireSent {
+                    peer: 3,
+                    bytes: 132,
+                },
             },
             TraceEvent {
                 t: SimTime(4_000),
-                kind: TraceKind::RndvStarted { peer: 3, bytes: 70_000 },
+                kind: TraceKind::RndvStarted {
+                    peer: 3,
+                    bytes: 70_000,
+                },
             },
             TraceEvent {
                 t: SimTime(5_000),

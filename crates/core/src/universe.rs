@@ -5,8 +5,8 @@
 use crate::config::{ConnMode, Device, MpiConfig, WaitPolicy};
 use crate::device::{Device as AdiDevice, MpiStats};
 use crate::mpi::Mpi;
-use parking_lot::Mutex;
 use std::sync::Arc;
+use viampi_sim::sync::Mutex;
 use viampi_sim::{SimDuration, SimError, SimTime};
 
 use viampi_via::{fabric_engine, NicStats, ViaPort};
@@ -41,6 +41,9 @@ pub struct RunReport<R> {
     pub end_time: SimTime,
     /// Events processed by the engine.
     pub events: u64,
+    /// Scheduler round trips skipped by the engine's self-resume fast
+    /// path (wall-clock statistic; never affects virtual-time results).
+    pub fast_resumes: u64,
     /// Configuration used.
     pub config: MpiConfig,
 }
@@ -67,17 +70,17 @@ impl<R> RunReport<R> {
 
     /// Mean `MPI_Init` time across ranks (Fig. 8's metric).
     pub fn avg_init_time(&self) -> SimDuration {
-        let total: u64 = self
-            .ranks
-            .iter()
-            .map(|r| r.init_time.as_nanos())
-            .sum();
+        let total: u64 = self.ranks.iter().map(|r| r.init_time.as_nanos()).sum();
         SimDuration::nanos(total / self.ranks.len() as u64)
     }
 
     /// Peak pinned bytes across ranks.
     pub fn max_pinned(&self) -> usize {
-        self.ranks.iter().map(|r| r.nic.pinned_peak).max().unwrap_or(0)
+        self.ranks
+            .iter()
+            .map(|r| r.nic.pinned_peak)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -125,8 +128,7 @@ impl Universe {
         let mut engine = fabric_engine(cfg.device.profile(), np);
         let body = Arc::new(body);
         type Slot<R> = Option<(R, RankReport)>;
-        let slots: Arc<Mutex<Vec<Slot<R>>>> =
-            Arc::new(Mutex::new((0..np).map(|_| None).collect()));
+        let slots: Arc<Mutex<Vec<Slot<R>>>> = Arc::new(Mutex::new((0..np).map(|_| None).collect()));
 
         for rank in 0..np {
             let body = body.clone();
@@ -178,6 +180,7 @@ impl Universe {
             ranks,
             end_time: outcome.end_time,
             events: outcome.events_processed,
+            fast_resumes: outcome.fast_resumes,
             config: self.cfg,
         })
     }

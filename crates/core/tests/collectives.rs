@@ -46,10 +46,7 @@ fn bcast_delivers_to_every_rank_from_every_root() {
                     msg == data
                 })
                 .unwrap();
-            assert!(
-                report.results.iter().all(|&ok| ok),
-                "np={np} root={root}"
-            );
+            assert!(report.results.iter().all(|&ok| ok), "np={np} root={root}");
         }
     }
 }
@@ -105,7 +102,9 @@ fn allreduce_large_vector_crosses_rendezvous() {
     // 4096 f64 = 32 KiB per message — the reduce tree runs on rendezvous.
     let report = uni(8, ConnMode::OnDemand)
         .run(|mpi| {
-            let mine: Vec<f64> = (0..4096).map(|i| (mpi.rank() + 1) as f64 * i as f64).collect();
+            let mine: Vec<f64> = (0..4096)
+                .map(|i| (mpi.rank() + 1) as f64 * i as f64)
+                .collect();
             let total = mpi.allreduce(&mine, ReduceOp::Sum);
             total[1] as u64
         })
@@ -161,11 +160,9 @@ fn alltoallv_with_ragged_and_empty_blocks() {
                 .map(|dst| vec![rank as u8; ((rank + dst) % 4) * 2000])
                 .collect();
             let recv = mpi.alltoallv(&send);
-            recv.iter()
-                .enumerate()
-                .all(|(src, b)| {
-                    b.len() == ((src + rank) % 4) * 2000 && b.iter().all(|&x| x == src as u8)
-                })
+            recv.iter().enumerate().all(|(src, b)| {
+                b.len() == ((src + rank) % 4) * 2000 && b.iter().all(|&x| x == src as u8)
+            })
         })
         .unwrap();
     assert!(report.results.iter().all(|&ok| ok));

@@ -57,7 +57,10 @@ fn on_demand_ring_uses_two_vis_static_uses_n_minus_1() {
     let st = uni(np, Device::Clan, ConnMode::StaticPeerToPeer)
         .run(ring)
         .unwrap();
-    assert!(od.results.iter().all(|&v| v == 2), "paper Table 2: Ring → 2");
+    assert!(
+        od.results.iter().all(|&v| v == 2),
+        "paper Table 2: Ring → 2"
+    );
     assert!(st.results.iter().all(|&v| v == np - 1));
     // Utilization: 1.0 on-demand, 2/(N-1) static.
     assert!((od.utilization() - 1.0).abs() < 1e-9);
@@ -441,7 +444,6 @@ fn deferred_send_completion_depends_on_receiver_showing_up() {
         "send completed before the receiver ever communicated"
     );
 }
-
 
 #[test]
 fn spinwait_matches_polling_for_pingpong_latency() {

@@ -161,7 +161,12 @@ fn growth_is_per_channel_not_global() {
 
 #[test]
 fn dynamic_composes_with_static_managers_too() {
-    let mut u = Universe::new(4, Device::Clan, ConnMode::StaticPeerToPeer, WaitPolicy::Polling);
+    let mut u = Universe::new(
+        4,
+        Device::Clan,
+        ConnMode::StaticPeerToPeer,
+        WaitPolicy::Polling,
+    );
     u.config_mut().dynamic_credits = true;
     u.config_mut().os_noise = false;
     let report = u

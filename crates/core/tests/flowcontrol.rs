@@ -44,16 +44,15 @@ fn bidirectional_flood_makes_progress() {
     let report = quiet(2)
         .run(move |mpi| {
             let other = 1 - mpi.rank();
-            let sends: Vec<_> = (0..n).map(|i| mpi.isend(&i.to_le_bytes(), other, 1)).collect();
+            let sends: Vec<_> = (0..n)
+                .map(|i| mpi.isend(&i.to_le_bytes(), other, 1))
+                .collect();
             let recvs: Vec<_> = (0..n).map(|_| mpi.irecv(Some(other), Some(1))).collect();
             let got = mpi.waitall(&recvs);
             mpi.waitall(&sends);
-            got.iter()
-                .enumerate()
-                .all(|(i, (d, _))| {
-                    u32::from_le_bytes(d.as_ref().unwrap().as_slice().try_into().unwrap())
-                        == i as u32
-                })
+            got.iter().enumerate().all(|(i, (d, _))| {
+                u32::from_le_bytes(d.as_ref().unwrap().as_slice().try_into().unwrap()) == i as u32
+            })
         })
         .unwrap();
     assert!(report.results.iter().all(|&ok| ok));
@@ -143,7 +142,11 @@ fn mixed_sizes_interleaved_heavily() {
                     if dst == rank {
                         continue;
                     }
-                    let size = if (round + dst + rank) % 3 == 0 { 12_000 } else { 100 };
+                    let size = if (round + dst + rank) % 3 == 0 {
+                        12_000
+                    } else {
+                        100
+                    };
                     let fill = (round * np + rank) as u8;
                     reqs.push(mpi.isend(&vec![fill; size], dst, round as i32));
                 }
@@ -154,7 +157,11 @@ fn mixed_sizes_interleaved_heavily() {
                     if src == rank {
                         continue;
                     }
-                    let size = if (round + rank + src) % 3 == 0 { 12_000 } else { 100 };
+                    let size = if (round + rank + src) % 3 == 0 {
+                        12_000
+                    } else {
+                        100
+                    };
                     let (d, _) = mpi.recv(Some(src), Some(round as i32));
                     let fill = (round * np + src) as u8;
                     ok &= d.len() == size && d.iter().all(|&b| b == fill);

@@ -95,7 +95,9 @@ fn non_overtaking_mixed_eager_and_rendezvous() {
     // MPI order must still hold even though the protocols differ.
     let report = uni(2, ConnMode::OnDemand)
         .run(|mpi| {
-            let sizes: Vec<usize> = (0..20).map(|i| if i % 2 == 0 { 16 } else { 20_000 }).collect();
+            let sizes: Vec<usize> = (0..20)
+                .map(|i| if i % 2 == 0 { 16 } else { 20_000 })
+                .collect();
             if mpi.rank() == 0 {
                 for (i, &n) in sizes.iter().enumerate() {
                     let buf = vec![i as u8; n];
@@ -231,7 +233,11 @@ fn waitall_completes_a_batch() {
                 let mut n = 0;
                 for i in 0..10 {
                     let (d, _) = mpi.recv(Some(0), Some(i));
-                    let expect = if mpi.rank() == 1 { i as u8 } else { i as u8 + 100 };
+                    let expect = if mpi.rank() == 1 {
+                        i as u8
+                    } else {
+                        i as u8 + 100
+                    };
                     assert_eq!(d, [expect]);
                     n += 1;
                 }
@@ -476,7 +482,11 @@ fn all_policies_and_devices_run_a_workload() {
                         v[0]
                     })
                     .unwrap();
-                assert_eq!(report.results, vec![3, 3, 3], "{device:?}/{wait:?}/{conn:?}");
+                assert_eq!(
+                    report.results,
+                    vec![3, 3, 3],
+                    "{device:?}/{wait:?}/{conn:?}"
+                );
             }
         }
     }

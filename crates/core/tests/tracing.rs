@@ -39,7 +39,10 @@ fn on_demand_trace_shows_issue_then_establish_then_wire() {
         .iter()
         .position(|e| matches!(e.kind, TraceKind::WireSent { peer: 1, .. }))
         .expect("wire sent");
-    assert!(issue < est && est < wire, "causal order: {issue} {est} {wire}");
+    assert!(
+        issue < est && est < wire,
+        "causal order: {issue} {est} {wire}"
+    );
     // The establishment event records the deferred FIFO length (§3.4).
     match &t0[est].kind {
         TraceKind::ConnEstablished { deferred, .. } => assert_eq!(*deferred, 3),
@@ -92,9 +95,13 @@ fn rendezvous_and_delivery_traced() {
             mpi.take_trace()
         })
         .unwrap();
-    assert!(report.results[0]
-        .iter()
-        .any(|e| matches!(e.kind, TraceKind::RndvStarted { peer: 1, bytes: 30_000 })));
+    assert!(report.results[0].iter().any(|e| matches!(
+        e.kind,
+        TraceKind::RndvStarted {
+            peer: 1,
+            bytes: 30_000
+        }
+    )));
 }
 
 #[test]

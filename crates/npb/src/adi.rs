@@ -48,10 +48,22 @@ struct Params {
 fn params(class: Class) -> Params {
     // NPB (real): A: 64³/400 it, B: 102³/400, C: 162³/400. Scaled.
     match class {
-        Class::S => Params { n: 12, iterations: 6 },
-        Class::A => Params { n: 24, iterations: 100 },
-        Class::B => Params { n: 36, iterations: 160 },
-        Class::C => Params { n: 48, iterations: 200 },
+        Class::S => Params {
+            n: 12,
+            iterations: 6,
+        },
+        Class::A => Params {
+            n: 24,
+            iterations: 100,
+        },
+        Class::B => Params {
+            n: 36,
+            iterations: 160,
+        },
+        Class::C => Params {
+            n: 48,
+            iterations: 200,
+        },
     }
 }
 
@@ -273,10 +285,11 @@ pub fn run(mpi: &Mpi, app: App, class: Class) -> KernelResult {
                             + f.u[f.idx(x + 1, y, z, c)]
                             + f.u[f.idx(x, y - 1, z, c)]
                             + f.u[f.idx(x, y + 1, z, c)]
-                            + 0.5 * (f.u[f.idx(x - 1, y - 1, z, c)]
-                                + f.u[f.idx(x + 1, y + 1, z, c)]
-                                + f.u[f.idx(x - 1, y + 1, z, c)]
-                                + f.u[f.idx(x + 1, y - 1, z, c)]);
+                            + 0.5
+                                * (f.u[f.idx(x - 1, y - 1, z, c)]
+                                    + f.u[f.idx(x + 1, y + 1, z, c)]
+                                    + f.u[f.idx(x - 1, y + 1, z, c)]
+                                    + f.u[f.idx(x + 1, y - 1, z, c)]);
                         let zn = f.u[f.idx(x, y, if z > 0 { z - 1 } else { nz - 1 }, c)]
                             + f.u[f.idx(x, y, if z + 1 < nz { z + 1 } else { 0 }, c)];
                         new[i] = f.u[i] + tau * (inplane / 6.0 + zn / 2.0 - 2.0 * f.u[i]);

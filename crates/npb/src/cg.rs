@@ -30,10 +30,34 @@ struct Params {
 fn params(class: Class) -> Params {
     // NPB (real): A: 14000/11/15/20, B: 75000/13/75/60, C: 150000/15/75/110.
     match class {
-        Class::S => Params { n: 256, nz_per_row: 6, outer: 3, inner: 15, shift: 10.0 },
-        Class::A => Params { n: 1400, nz_per_row: 8, outer: 6, inner: 25, shift: 20.0 },
-        Class::B => Params { n: 3000, nz_per_row: 10, outer: 10, inner: 25, shift: 60.0 },
-        Class::C => Params { n: 6000, nz_per_row: 12, outer: 12, inner: 25, shift: 110.0 },
+        Class::S => Params {
+            n: 256,
+            nz_per_row: 6,
+            outer: 3,
+            inner: 15,
+            shift: 10.0,
+        },
+        Class::A => Params {
+            n: 1400,
+            nz_per_row: 8,
+            outer: 6,
+            inner: 25,
+            shift: 20.0,
+        },
+        Class::B => Params {
+            n: 3000,
+            nz_per_row: 10,
+            outer: 10,
+            inner: 25,
+            shift: 60.0,
+        },
+        Class::C => Params {
+            n: 6000,
+            nz_per_row: 12,
+            outer: 12,
+            inner: 25,
+            shift: 110.0,
+        },
     }
 }
 
@@ -120,11 +144,7 @@ fn build_local(p: &Params, g: &Grid) -> LocalMatrix {
     // Owned diagonal entries (dominance + shift ⇒ SPD).
     #[allow(clippy::needless_range_loop)]
     for r in r0.max(c0)..r1.min(c1) {
-        triples.push((
-            (r - r0) as u32,
-            (r - c0) as u32,
-            rowsum[r] + p.shift,
-        ));
+        triples.push(((r - r0) as u32, (r - c0) as u32, rowsum[r] + p.shift));
     }
     let nnz_flops = 2.0 * triples.len() as f64;
     LocalMatrix { triples, nnz_flops }
@@ -327,10 +347,7 @@ mod tests {
                 .filter(|&c| c != r)
                 .map(|c| dense[r * n + c].abs())
                 .sum();
-            assert!(
-                dense[r * n + r] > offdiag,
-                "row {r} not strictly dominant"
-            );
+            assert!(dense[r * n + r] > offdiag, "row {r} not strictly dominant");
         }
     }
 }

@@ -22,10 +22,22 @@ fn params(class: Class) -> Params {
     // NPB (real): A: 256²×128 / 6 it, B: 512×256² / 20, C: 512³ / 20.
     // Scaled to cubes; ratios kept.
     match class {
-        Class::S => Params { n: 16, iterations: 2 },
-        Class::A => Params { n: 32, iterations: 6 },
-        Class::B => Params { n: 64, iterations: 10 },
-        Class::C => Params { n: 64, iterations: 20 },
+        Class::S => Params {
+            n: 16,
+            iterations: 2,
+        },
+        Class::A => Params {
+            n: 32,
+            iterations: 6,
+        },
+        Class::B => Params {
+            n: 64,
+            iterations: 10,
+        },
+        Class::C => Params {
+            n: 64,
+            iterations: 20,
+        },
     }
 }
 

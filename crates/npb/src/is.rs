@@ -18,10 +18,26 @@ fn params(class: Class) -> Params {
     // NPB (real): A: 2^23 keys / 2^19 max, B: 2^25/2^21, C: 2^27/2^23,
     // 10 iterations. Scaled by 2^5; ratios kept.
     match class {
-        Class::S => Params { total_keys: 1 << 14, max_key: 1 << 11, iterations: 4 },
-        Class::A => Params { total_keys: 1 << 20, max_key: 1 << 15, iterations: 10 },
-        Class::B => Params { total_keys: 1 << 22, max_key: 1 << 17, iterations: 10 },
-        Class::C => Params { total_keys: 1 << 23, max_key: 1 << 18, iterations: 10 },
+        Class::S => Params {
+            total_keys: 1 << 14,
+            max_key: 1 << 11,
+            iterations: 4,
+        },
+        Class::A => Params {
+            total_keys: 1 << 20,
+            max_key: 1 << 15,
+            iterations: 10,
+        },
+        Class::B => Params {
+            total_keys: 1 << 22,
+            max_key: 1 << 17,
+            iterations: 10,
+        },
+        Class::C => Params {
+            total_keys: 1 << 23,
+            max_key: 1 << 18,
+            iterations: 10,
+        },
     }
 }
 
@@ -34,13 +50,19 @@ pub fn run(mpi: &Mpi, class: Class) -> KernelResult {
     let (rank, np) = (mpi.rank(), mpi.size());
     let per = p.total_keys / np as u64;
     let lo = rank as u64 * per;
-    let hi = if rank == np - 1 { p.total_keys } else { lo + per };
+    let hi = if rank == np - 1 {
+        p.total_keys
+    } else {
+        lo + per
+    };
 
     // Key generation (NPB uses a Gaussian-ish sum of 4 uniforms).
     let mut keys: Vec<u32> = Vec::with_capacity((hi - lo) as usize);
     for idx in lo..hi {
         let mut rng = SplitMix64::new(0x1234_5678 ^ (idx * 0x9E37_79B9));
-        let k = (0..4).map(|_| rng.next_below(p.max_key as u64 / 4) as u32).sum::<u32>();
+        let k = (0..4)
+            .map(|_| rng.next_below(p.max_key as u64 / 4) as u32)
+            .sum::<u32>();
         keys.push(k);
     }
 

@@ -20,10 +20,22 @@ struct Params {
 fn params(class: Class) -> Params {
     // NPB (real): A: 64³/250 it, B: 102³/250, C: 162³/250. Scaled.
     match class {
-        Class::S => Params { n: 12, iterations: 4 },
-        Class::A => Params { n: 24, iterations: 40 },
-        Class::B => Params { n: 36, iterations: 60 },
-        Class::C => Params { n: 48, iterations: 80 },
+        Class::S => Params {
+            n: 12,
+            iterations: 4,
+        },
+        Class::A => Params {
+            n: 24,
+            iterations: 40,
+        },
+        Class::B => Params {
+            n: 36,
+            iterations: 60,
+        },
+        Class::C => Params {
+            n: 48,
+            iterations: 80,
+        },
     }
 }
 
@@ -78,8 +90,16 @@ pub fn run(mpi: &Mpi, class: Class) -> KernelResult {
             };
             for x in 0..nx {
                 for y in 0..ny {
-                    let uw = if x > 0 { u[idx(x - 1, y, z)] } else { wghost[y] };
-                    let un = if y > 0 { u[idx(x, y - 1, z)] } else { nghost[x] };
+                    let uw = if x > 0 {
+                        u[idx(x - 1, y, z)]
+                    } else {
+                        wghost[y]
+                    };
+                    let un = if y > 0 {
+                        u[idx(x, y - 1, z)]
+                    } else {
+                        nghost[x]
+                    };
                     let uz = if z > 0 { u[idx(x, y, z - 1)] } else { 0.0 };
                     let i = idx(x, y, z);
                     u[i] += omega * 0.25 * (uw + un + uz - 3.0 * u[i]);
@@ -107,8 +127,16 @@ pub fn run(mpi: &Mpi, class: Class) -> KernelResult {
             };
             for x in (0..nx).rev() {
                 for y in (0..ny).rev() {
-                    let ue = if x + 1 < nx { u[idx(x + 1, y, z)] } else { eghost[y] };
-                    let us = if y + 1 < ny { u[idx(x, y + 1, z)] } else { sghost[x] };
+                    let ue = if x + 1 < nx {
+                        u[idx(x + 1, y, z)]
+                    } else {
+                        eghost[y]
+                    };
+                    let us = if y + 1 < ny {
+                        u[idx(x, y + 1, z)]
+                    } else {
+                        sghost[x]
+                    };
                     let uz = if z + 1 < nz { u[idx(x, y, z + 1)] } else { 0.0 };
                     let i = idx(x, y, z);
                     u[i] += omega * 0.25 * (ue + us + uz - 3.0 * u[i]);

@@ -23,10 +23,22 @@ fn params(class: Class) -> Params {
     // long enough (≥ ~0.1 virtual s) to amortize on-demand connection
     // setup the way the paper's multi-second runs do.
     match class {
-        Class::S => Params { n: 16, iterations: 2 },
-        Class::A => Params { n: 32, iterations: 40 },
-        Class::B => Params { n: 48, iterations: 48 },
-        Class::C => Params { n: 64, iterations: 48 },
+        Class::S => Params {
+            n: 16,
+            iterations: 2,
+        },
+        Class::A => Params {
+            n: 32,
+            iterations: 40,
+        },
+        Class::B => Params {
+            n: 48,
+            iterations: 48,
+        },
+        Class::C => Params {
+            n: 64,
+            iterations: 48,
+        },
     }
 }
 
@@ -223,8 +235,7 @@ fn relax(ctx: &MgCtx<'_>, g: &mut LevelGrid, rhs: &LevelGrid, sweeps: usize, tag
             }
         }
         g.u = new;
-        ctx.mpi
-            .compute((g.nx * g.ny * g.nz) as f64 * 10.0);
+        ctx.mpi.compute((g.nx * g.ny * g.nz) as f64 * 10.0);
     }
 }
 
@@ -305,7 +316,11 @@ pub fn run(mpi: &Mpi, class: Class) -> KernelResult {
         for x in 0..cnx {
             for y in 0..cny {
                 for z in 0..cnz {
-                    let i = u.idx((x * 4 + 1).min(nx), (y * 4 + 1).min(ny), (z * 4 + 1).min(nz));
+                    let i = u.idx(
+                        (x * 4 + 1).min(nx),
+                        (y * 4 + 1).min(ny),
+                        (z * 4 + 1).min(nz),
+                    );
                     coarse_block.push(rhs.u[i] - u.u[i] * 0.1);
                 }
             }
@@ -327,7 +342,11 @@ pub fn run(mpi: &Mpi, class: Class) -> KernelResult {
         for x in 0..cnx {
             for y in 0..cny {
                 for z in 0..cnz {
-                    let i = u.idx((x * 4 + 1).min(nx), (y * 4 + 1).min(ny), (z * 4 + 1).min(nz));
+                    let i = u.idx(
+                        (x * 4 + 1).min(nx),
+                        (y * 4 + 1).min(ny),
+                        (z * 4 + 1).min(nz),
+                    );
                     u.u[i] += corr[(x * cny + y) * cnz + z];
                 }
             }

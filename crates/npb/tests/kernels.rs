@@ -38,10 +38,7 @@ fn ep_vi_footprint_is_allreduce_tree() {
     let report = run_kernel(16, |mpi| ep::run(mpi, Class::S));
     // Table 2: EP at np=16 → 4 VIs (the recursive-doubling partners).
     let avg = report.avg_vis();
-    assert!(
-        (3.5..=5.5).contains(&avg),
-        "EP avg VIs {avg} should be ≈ 4"
-    );
+    assert!((3.5..=5.5).contains(&avg), "EP avg VIs {avg} should be ≈ 4");
     assert!((report.utilization() - 1.0).abs() < 1e-9);
 }
 

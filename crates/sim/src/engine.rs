@@ -16,12 +16,25 @@
 //! change (an event handler or another process) calls [`Api::wake`], and the
 //! engine resumes the sleeper *at the virtual time of the wake*. Wait-policy
 //! costs (poll-detect vs interrupt wake-up) are charged by the caller on top.
+//!
+//! ## The self-resume fast path
+//!
+//! The token pass costs two OS context switches (process → engine → process).
+//! When the calling process would be handed the token right back — it is the
+//! unique earliest runnable process and no event is due at or before its
+//! clock — the scheduling decision is already forced, so
+//! [`ProcCtx::advance`] and [`ProcCtx::yield_now`] skip the round trip and
+//! continue on the same OS thread, stamping `last_run` exactly as the engine
+//! would have. Virtual timestamps, event order and round-robin fairness are
+//! bit-identical with the fast path on or off; set `VIAMPI_NO_FASTPATH=1` to
+//! disable it (used to measure the win).
 
 use crate::error::{BlockedProc, SimError};
 use crate::queue::EventQueue;
+use crate::sync::{Condvar, Mutex, MutexGuard};
 use crate::time::{SimDuration, SimTime};
-use parking_lot::{Condvar, Mutex};
 use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Identifier of a spawned simulated process (dense, starting at 0 in spawn
@@ -80,7 +93,7 @@ impl<'a, E> Api<'a, E> {
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum ProcState {
-    /// Runnable at `clock`.
+    /// Runnable at `clock` (present in the ready heap).
     Ready,
     /// Currently holding the execution token.
     Running,
@@ -101,10 +114,76 @@ struct ProcSlot {
     last_run: u64,
 }
 
+/// Index min-heap over the Ready processes, keyed `(clock, last_run, pid)`.
+///
+/// Every transition into `ProcState::Ready` pushes exactly one entry; the
+/// scheduler pops the minimum. `(clock, last_run)` are immutable while a
+/// process is Ready (wakes only touch Blocked processes), so entries are
+/// never stale — no lazy-deletion bookkeeping is needed.
+struct ReadyHeap {
+    heap: Vec<(SimTime, u64, ProcId)>,
+}
+
+impl ReadyHeap {
+    fn with_capacity(cap: usize) -> Self {
+        ReadyHeap {
+            heap: Vec::with_capacity(cap),
+        }
+    }
+
+    #[inline]
+    fn peek(&self) -> Option<(SimTime, u64, ProcId)> {
+        self.heap.first().copied()
+    }
+
+    fn push(&mut self, clock: SimTime, last_run: u64, pid: ProcId) {
+        self.heap.push((clock, last_run, pid));
+        let mut i = self.heap.len() - 1;
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.heap[i] >= self.heap[parent] {
+                break;
+            }
+            self.heap.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, u64, ProcId)> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let last = self.heap.len() - 1;
+        self.heap.swap(0, last);
+        let e = self.heap.pop().expect("non-empty");
+        let n = self.heap.len();
+        let mut i = 0;
+        loop {
+            let l = 2 * i + 1;
+            if l >= n {
+                break;
+            }
+            let r = l + 1;
+            let mut smallest = l;
+            if r < n && self.heap[r] < self.heap[l] {
+                smallest = r;
+            }
+            if self.heap[smallest] >= self.heap[i] {
+                break;
+            }
+            self.heap.swap(i, smallest);
+            i = smallest;
+        }
+        Some(e)
+    }
+}
+
 struct Inner<W: World> {
     world: W,
     queue: EventQueue<W::Event>,
     procs: Vec<ProcSlot>,
+    /// Ready processes, ordered as the scheduler will pick them.
+    ready: ReadyHeap,
     /// Process currently holding the token, if any.
     running: Option<ProcId>,
     /// First process panic observed (poisons the simulation).
@@ -113,6 +192,44 @@ struct Inner<W: World> {
     pass: u64,
     /// Events applied so far.
     events_processed: u64,
+    /// Token passes short-circuited by the self-resume fast path.
+    fast_resumes: u64,
+    /// Reusable wake buffer so `with_world`/`block_on`/event dispatch do not
+    /// allocate a fresh `Vec` per call.
+    wake_scratch: Vec<ProcId>,
+}
+
+impl<W: World> Inner<W> {
+    /// True when the scheduler, run right now, would hand the token straight
+    /// back to `pid` (whose clock is `clock` and which is still Running):
+    /// no event due at or before `clock`, and no Ready process ordered
+    /// before it. The comparison mirrors the scheduler exactly — events win
+    /// ties against processes, and processes order by `(clock, last_run,
+    /// pid)`.
+    #[inline]
+    fn can_self_resume(&self, pid: ProcId, clock: SimTime) -> bool {
+        if self.poisoned.is_some() {
+            return false;
+        }
+        if let Some(te) = self.queue.peek_time() {
+            if te <= clock {
+                return false;
+            }
+        }
+        match self.ready.peek() {
+            Some(head) => (clock, self.procs[pid].last_run, pid) < head,
+            None => true,
+        }
+    }
+
+    /// Stamp `pid` as scheduled for a new pass, exactly as the engine loop
+    /// would, without moving the token.
+    #[inline]
+    fn grant_self(&mut self, pid: ProcId) {
+        self.pass += 1;
+        self.procs[pid].last_run = self.pass;
+        self.fast_resumes += 1;
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -157,6 +274,13 @@ struct Shared<W: World> {
     /// Signalled whenever a process returns the token to the engine.
     engine_cv: Condvar,
     gates: Vec<Arc<Gate>>,
+    /// Per-process clock mirrors for lock-free [`ProcCtx::now`]. Written by
+    /// the token holder (or by the engine/waker while the owner is parked,
+    /// synchronized through the gate); read by the owner.
+    clocks: Vec<AtomicU64>,
+    /// Self-resume fast path enabled (default; `VIAMPI_NO_FASTPATH=1`
+    /// disables it for A/B measurements).
+    fastpath: bool,
 }
 
 /// Panic payload used to unwind simulated processes during teardown.
@@ -170,6 +294,9 @@ struct SimPoison;
 pub struct ProcCtx<W: World> {
     shared: Arc<Shared<W>>,
     pid: ProcId,
+    /// Cached process count — immutable after spawn, so reads never touch
+    /// shared state.
+    nprocs: usize,
 }
 
 impl<W: World> Clone for ProcCtx<W> {
@@ -177,6 +304,7 @@ impl<W: World> Clone for ProcCtx<W> {
         ProcCtx {
             shared: self.shared.clone(),
             pid: self.pid,
+            nprocs: self.nprocs,
         }
     }
 }
@@ -188,27 +316,47 @@ impl<W: World> ProcCtx<W> {
         self.pid
     }
 
-    /// Number of processes spawned into the simulation.
+    /// Number of processes spawned into the simulation. Cached in the
+    /// context (the value is immutable), so this is a plain field read —
+    /// safe to call in the hottest loops.
+    #[inline]
     pub fn nprocs(&self) -> usize {
-        self.shared.gates.len()
+        self.nprocs
     }
 
     /// Current virtual time of this process.
+    ///
+    /// Lock-free: reads a per-process atomic mirror of the clock rather
+    /// than taking the global engine lock, so hot kernels that timestamp
+    /// every iteration do not serialize on the scheduler. The mirror is
+    /// exact — it is updated together with the authoritative clock, and
+    /// only ever written by the token holder or (while this process is
+    /// parked) by the engine, with the gate providing the ordering.
+    #[inline]
     pub fn now(&self) -> SimTime {
-        self.shared.inner.lock().procs[self.pid].clock
+        SimTime(self.shared.clocks[self.pid].load(Ordering::Acquire))
     }
 
     /// Charge `d` of virtual compute time to this process and yield so that
-    /// any events or other processes due earlier run first.
+    /// any events or other processes due earlier run first. If nothing is
+    /// due earlier, the self-resume fast path keeps executing on this
+    /// thread without a scheduler round trip.
     pub fn advance(&self, d: SimDuration) {
         if d == SimDuration::ZERO {
             return;
         }
         {
             let mut g = self.shared.inner.lock();
-            let slot = &mut g.procs[self.pid];
-            slot.clock += d;
-            slot.state = ProcState::Ready;
+            let clock = g.procs[self.pid].clock + d;
+            g.procs[self.pid].clock = clock;
+            self.shared.clocks[self.pid].store(clock.0, Ordering::Release);
+            if self.shared.fastpath && g.can_self_resume(self.pid, clock) {
+                g.grant_self(self.pid);
+                return;
+            }
+            let last_run = g.procs[self.pid].last_run;
+            g.procs[self.pid].state = ProcState::Ready;
+            g.ready.push(clock, last_run, self.pid);
             g.running = None;
         }
         self.shared.engine_cv.notify_one();
@@ -217,10 +365,19 @@ impl<W: World> ProcCtx<W> {
 
     /// Yield the token without advancing time. Equal-clock processes are
     /// scheduled least-recently-run-first, so this round-robins fairly.
+    /// When this process is the only runnable entity (no equal-or-earlier
+    /// Ready process, no due event), the fast path returns immediately.
     pub fn yield_now(&self) {
         {
             let mut g = self.shared.inner.lock();
+            let clock = g.procs[self.pid].clock;
+            if self.shared.fastpath && g.can_self_resume(self.pid, clock) {
+                g.grant_self(self.pid);
+                return;
+            }
+            let last_run = g.procs[self.pid].last_run;
             g.procs[self.pid].state = ProcState::Ready;
+            g.ready.push(clock, last_run, self.pid);
             g.running = None;
         }
         self.shared.engine_cv.notify_one();
@@ -233,7 +390,7 @@ impl<W: World> ProcCtx<W> {
         let mut g = self.shared.inner.lock();
         let now = g.procs[self.pid].clock;
         let inner = &mut *g;
-        let mut wakes = Vec::new();
+        let mut wakes = std::mem::take(&mut inner.wake_scratch);
         let r = {
             let mut api = Api {
                 now,
@@ -242,7 +399,9 @@ impl<W: World> ProcCtx<W> {
             };
             f(&mut inner.world, &mut api)
         };
-        apply_wakes(inner, now, &wakes);
+        apply_wakes(inner, &self.shared.clocks, now, &wakes);
+        wakes.clear();
+        inner.wake_scratch = wakes;
         r
     }
 
@@ -250,16 +409,13 @@ impl<W: World> ProcCtx<W> {
     /// if it returns `None` the process blocks and is re-evaluated after each
     /// [`Api::wake`] targeting it. Returns the produced value together with
     /// the virtual time at which it was produced.
-    pub fn block_on<R>(
-        &self,
-        mut f: impl FnMut(&mut W, &mut Api<'_, W::Event>) -> Option<R>,
-    ) -> R {
+    pub fn block_on<R>(&self, mut f: impl FnMut(&mut W, &mut Api<'_, W::Event>) -> Option<R>) -> R {
         loop {
             {
                 let mut g = self.shared.inner.lock();
                 let now = g.procs[self.pid].clock;
                 let inner = &mut *g;
-                let mut wakes = Vec::new();
+                let mut wakes = std::mem::take(&mut inner.wake_scratch);
                 let out = {
                     let mut api = Api {
                         now,
@@ -268,7 +424,9 @@ impl<W: World> ProcCtx<W> {
                     };
                     f(&mut inner.world, &mut api)
                 };
-                apply_wakes(inner, now, &wakes);
+                apply_wakes(inner, &self.shared.clocks, now, &wakes);
+                wakes.clear();
+                inner.wake_scratch = wakes;
                 if let Some(r) = out {
                     return r;
                 }
@@ -289,13 +447,49 @@ impl<W: World> ProcCtx<W> {
     }
 }
 
-fn apply_wakes<W: World>(inner: &mut Inner<W>, now: SimTime, wakes: &[ProcId]) {
+fn apply_wakes<W: World>(
+    inner: &mut Inner<W>,
+    clocks: &[AtomicU64],
+    now: SimTime,
+    wakes: &[ProcId],
+) {
     for &pid in wakes {
         let slot = &mut inner.procs[pid];
         if slot.state == ProcState::Blocked {
             slot.state = ProcState::Ready;
             slot.clock = slot.clock.max(now);
+            clocks[pid].store(slot.clock.0, Ordering::Release);
+            inner.ready.push(slot.clock, slot.last_run, pid);
         }
+    }
+}
+
+// Cumulative totals over every `Engine::run` in the process. Monotone
+// write-only counters from the scheduler's perspective — they are never
+// read back by scheduling decisions, so they cannot affect results. The
+// bench harness snapshots them around an experiment to report aggregate
+// events/sec across worker threads.
+static TOTAL_RUNS: AtomicU64 = AtomicU64::new(0);
+static TOTAL_EVENTS: AtomicU64 = AtomicU64::new(0);
+static TOTAL_FAST_RESUMES: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide cumulative totals over every completed [`Engine::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineTotals {
+    /// Simulations completed successfully.
+    pub runs: u64,
+    /// Events applied, summed over those runs.
+    pub events: u64,
+    /// Fast-path self-resumes, summed over those runs.
+    pub fast_resumes: u64,
+}
+
+/// Snapshot the process-wide cumulative engine counters.
+pub fn engine_totals() -> EngineTotals {
+    EngineTotals {
+        runs: TOTAL_RUNS.load(Ordering::Relaxed),
+        events: TOTAL_EVENTS.load(Ordering::Relaxed),
+        fast_resumes: TOTAL_FAST_RESUMES.load(Ordering::Relaxed),
     }
 }
 
@@ -308,6 +502,9 @@ pub struct Outcome {
     pub end_time: SimTime,
     /// Number of events the engine applied.
     pub events_processed: u64,
+    /// Scheduler round trips avoided by the self-resume fast path. Purely
+    /// a wall-clock statistic: it never affects virtual-time results.
+    pub fast_resumes: u64,
 }
 
 type ProcBody<W> = Box<dyn FnOnce(ProcCtx<W>) + Send + 'static>;
@@ -343,10 +540,14 @@ impl<W: World> Engine<W> {
     pub fn run(mut self) -> Result<(W, Outcome), SimError> {
         let world = self.world.take().expect("engine already run");
         let n = self.bodies.len();
+        let mut ready = ReadyHeap::with_capacity(n);
+        for pid in 0..n {
+            ready.push(SimTime::ZERO, 0, pid);
+        }
         let shared = Arc::new(Shared {
             inner: Mutex::new(Inner {
                 world,
-                queue: EventQueue::new(),
+                queue: EventQueue::with_capacity(64),
                 procs: self
                     .bodies
                     .iter()
@@ -357,13 +558,18 @@ impl<W: World> Engine<W> {
                         last_run: 0,
                     })
                     .collect(),
+                ready,
                 running: None,
                 poisoned: None,
                 pass: 0,
                 events_processed: 0,
+                fast_resumes: 0,
+                wake_scratch: Vec::with_capacity(8),
             }),
             engine_cv: Condvar::new(),
             gates: (0..n).map(|_| Arc::new(Gate::new())).collect(),
+            clocks: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            fastpath: std::env::var_os("VIAMPI_NO_FASTPATH").is_none(),
         });
 
         let mut handles = Vec::with_capacity(n);
@@ -371,6 +577,7 @@ impl<W: World> Engine<W> {
             let ctx = ProcCtx {
                 shared: shared.clone(),
                 pid,
+                nprocs: n,
             };
             let shared2 = shared.clone();
             let handle = std::thread::Builder::new()
@@ -395,8 +602,7 @@ impl<W: World> Engine<W> {
                         Ok(()) => g.procs[pid].state = ProcState::Finished,
                         Err(payload) => {
                             g.procs[pid].state = ProcState::Panicked;
-                            if payload.downcast_ref::<SimPoison>().is_none()
-                                && g.poisoned.is_none()
+                            if payload.downcast_ref::<SimPoison>().is_none() && g.poisoned.is_none()
                             {
                                 let msg = panic_message(payload.as_ref());
                                 let name = g.procs[pid].name.clone();
@@ -428,12 +634,16 @@ impl<W: World> Engine<W> {
         }
         let proc_finish: Vec<SimTime> = inner.procs.iter().map(|p| p.clock).collect();
         let end_time = proc_finish.iter().copied().max().unwrap_or(SimTime::ZERO);
+        TOTAL_RUNS.fetch_add(1, Ordering::Relaxed);
+        TOTAL_EVENTS.fetch_add(inner.events_processed, Ordering::Relaxed);
+        TOTAL_FAST_RESUMES.fetch_add(inner.fast_resumes, Ordering::Relaxed);
         Ok((
             inner.world,
             Outcome {
                 proc_finish,
                 end_time,
                 events_processed: inner.events_processed,
+                fast_resumes: inner.fast_resumes,
             },
         ))
     }
@@ -448,17 +658,11 @@ impl<W: World> Engine<W> {
                 return Some(SimError::ProcPanic { name, message });
             }
 
-            let next_ready = g
-                .procs
-                .iter()
-                .enumerate()
-                .filter(|(_, p)| p.state == ProcState::Ready)
-                .min_by_key(|(pid, p)| (p.clock, p.last_run, *pid))
-                .map(|(pid, p)| (p.clock, pid));
+            let next_ready = g.ready.peek();
             let next_event = g.queue.peek_time();
 
             let run_event = match (next_event, next_ready) {
-                (Some(te), Some((tp, _))) => te <= tp,
+                (Some(te), Some((tp, _, _))) => te <= tp,
                 (Some(_), None) => true,
                 (None, Some(_)) => false,
                 (None, None) => {
@@ -489,7 +693,7 @@ impl<W: World> Engine<W> {
                 let (t, ev) = g.queue.pop().expect("peeked event vanished");
                 g.events_processed += 1;
                 let inner = &mut *g;
-                let mut wakes = Vec::new();
+                let mut wakes = std::mem::take(&mut inner.wake_scratch);
                 {
                     let mut api = Api {
                         now: t,
@@ -498,11 +702,14 @@ impl<W: World> Engine<W> {
                     };
                     inner.world.handle_event(ev, &mut api);
                 }
-                apply_wakes(inner, t, &wakes);
+                apply_wakes(inner, &shared.clocks, t, &wakes);
+                wakes.clear();
+                inner.wake_scratch = wakes;
                 continue;
             }
 
-            let (_, pid) = next_ready.expect("no event and no ready proc");
+            let (_, _, pid) = g.ready.pop().expect("no event and no ready proc");
+            debug_assert_eq!(g.procs[pid].state, ProcState::Ready);
             g.pass += 1;
             let pass = g.pass;
             {
@@ -521,7 +728,7 @@ impl<W: World> Engine<W> {
     }
 
     /// Poison every process that is still parked so its thread unwinds.
-    fn teardown(shared: &Arc<Shared<W>>, g: &mut parking_lot::MutexGuard<'_, Inner<W>>) {
+    fn teardown(shared: &Arc<Shared<W>>, g: &mut MutexGuard<'_, Inner<W>>) {
         loop {
             let victim = g
                 .procs
@@ -530,7 +737,7 @@ impl<W: World> Engine<W> {
             let Some(pid) = victim else { break };
             g.procs[pid].state = ProcState::Running;
             g.running = Some(pid);
-            parking_lot::MutexGuard::unlocked(g, || {
+            MutexGuard::unlocked(g, || {
                 shared.gates[pid].open(GateCmd::Poison);
             });
             while g.running.is_some() {
@@ -800,5 +1007,138 @@ mod tests {
         let mut sorted = times.clone();
         sorted.sort_unstable();
         assert_eq!(times, sorted, "global observation order is time order");
+    }
+
+    // ------------------------------------------------------------------
+    // Self-resume fast-path correctness
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn lone_process_fast_resumes() {
+        let mut eng = Engine::new(MailWorld::new(1));
+        eng.spawn("p", |ctx| {
+            for _ in 0..100 {
+                ctx.advance(SimDuration::nanos(10));
+            }
+            for _ in 0..50 {
+                ctx.yield_now();
+            }
+        });
+        let (_, out) = eng.run().unwrap();
+        assert_eq!(out.end_time, SimTime(1_000));
+        if std::env::var_os("VIAMPI_NO_FASTPATH").is_none() {
+            assert_eq!(
+                out.fast_resumes, 150,
+                "every advance/yield of a lone process takes the fast path"
+            );
+        }
+    }
+
+    #[test]
+    fn fast_path_never_skips_a_pending_event() {
+        // A process advancing *past* (not just onto) a pending event must
+        // still go through the engine so the event is applied at its own
+        // time, before the process resumes.
+        struct ProbeWorld {
+            fired_at: Option<SimTime>,
+        }
+        enum E {
+            Fire,
+        }
+        impl World for ProbeWorld {
+            type Event = E;
+            fn handle_event(&mut self, _: E, api: &mut Api<'_, E>) {
+                self.fired_at = Some(api.now());
+            }
+        }
+        let mut eng = Engine::new(ProbeWorld { fired_at: None });
+        eng.spawn("p", |ctx| {
+            ctx.with_world(|_, api| api.schedule(SimDuration::micros(5), E::Fire));
+            // Fast path allowed: 3 < 5.
+            ctx.advance(SimDuration::micros(3));
+            assert_eq!(ctx.with_world(|w, _| w.fired_at), None);
+            // Crosses the event: must yield to the engine.
+            ctx.advance(SimDuration::micros(4));
+            assert_eq!(
+                ctx.with_world(|w, _| w.fired_at),
+                Some(SimTime(5_000)),
+                "event fired at its own time while the proc moved 3us -> 7us"
+            );
+        });
+        eng.run().unwrap();
+    }
+
+    #[test]
+    fn fast_path_yields_to_just_woken_equal_clock_peer() {
+        // p0 wakes p1 at p0's own clock, then advances. p1 (equal clock,
+        // older last_run) must run before p0 continues — the fast path may
+        // not starve the round-robin tie-break.
+        let mut eng = Engine::new(MailWorld::new(2));
+        eng.spawn("p0", |ctx| {
+            ctx.advance(SimDuration::micros(1));
+            // Deliver instantly: the event is due at p0's clock, so the
+            // next advance may not fast-path over it.
+            send(&ctx, 1, 9, SimDuration::ZERO);
+            ctx.advance(SimDuration::nanos(1));
+            let seen = ctx.with_world(|w, _| w.log.clone());
+            assert_eq!(
+                seen,
+                vec!["p1:got9".to_string()],
+                "woken equal-clock peer ran before p0's next step"
+            );
+        });
+        eng.spawn("p1", |ctx| {
+            let (v, _) = recv(&ctx);
+            ctx.with_world(move |w, _| w.log.push(format!("p1:got{v}")));
+        });
+        eng.run().unwrap();
+    }
+
+    #[test]
+    fn fast_path_respects_earlier_ready_process() {
+        // Two processes with different strides: the faster-advancing one
+        // must never overtake the slower one in observation order even
+        // though both mostly self-resume when alone at the frontier.
+        let mut eng = Engine::new(MailWorld::new(2));
+        for pid in 0..2usize {
+            eng.spawn(format!("p{pid}"), move |ctx| {
+                for _ in 0..100 {
+                    ctx.advance(SimDuration::nanos((pid as u64 + 1) * 7));
+                    let now = ctx.now();
+                    ctx.with_world(move |w, _| {
+                        w.log.push(format!("{}", now.as_nanos()));
+                    });
+                }
+            });
+        }
+        let (w, _) = eng.run().unwrap();
+        let times: Vec<u64> = w.log.iter().map(|s| s.parse().unwrap()).collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        assert_eq!(times, sorted, "time order preserved under fast path");
+    }
+
+    #[test]
+    fn outcome_identical_with_and_without_fast_resumes() {
+        // The deterministic-ordering workload again, but checked against
+        // the exact values the pre-fast-path engine produced (committed
+        // here as constants) — fast_resumes only changes wall clock.
+        let mut eng = Engine::new(MailWorld::new(4));
+        for s in 0..3usize {
+            eng.spawn(format!("s{s}"), move |ctx| {
+                for i in 0..10u64 {
+                    ctx.advance(SimDuration::nanos(100 * (s as u64 + 1)));
+                    send(&ctx, 3, (s as u64) * 100 + i, SimDuration::micros(2));
+                }
+            });
+        }
+        eng.spawn("sink", |ctx| {
+            for _ in 0..30 {
+                recv(&ctx);
+            }
+        });
+        let (_, out) = eng.run().unwrap();
+        assert_eq!(out.events_processed, 30);
+        assert_eq!(out.end_time, SimTime(5_000), "sink wakes at last delivery");
     }
 }

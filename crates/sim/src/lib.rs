@@ -47,9 +47,10 @@ mod engine;
 mod error;
 mod queue;
 mod rng;
+pub mod sync;
 mod time;
 
-pub use engine::{Api, Engine, Outcome, ProcCtx, ProcId, World};
+pub use engine::{engine_totals, Api, Engine, EngineTotals, Outcome, ProcCtx, ProcId, World};
 pub use error::{BlockedProc, SimError};
 pub use queue::EventQueue;
 pub use rng::SplitMix64;

@@ -1,13 +1,18 @@
 //! The global event queue.
 //!
-//! A binary heap keyed by `(time, sequence)` where the sequence number is a
-//! monotonically increasing insertion counter. Two events scheduled for the
-//! same virtual instant are therefore delivered in the order they were
-//! scheduled, which makes the whole simulation deterministic.
+//! A Vec-backed binary min-heap keyed by `(time, sequence)` where the
+//! sequence number is a monotonically increasing insertion counter. Two
+//! events scheduled for the same virtual instant are therefore delivered in
+//! the order they were scheduled, which makes the whole simulation
+//! deterministic.
+//!
+//! The heap is hand-rolled (rather than `std::collections::BinaryHeap`) so
+//! the scheduler hot path gets a branch-light `O(1)` [`EventQueue::peek_time`],
+//! a combined [`EventQueue::pop_due`] peek-and-pop, and a backing buffer whose
+//! capacity survives drain/refill cycles ([`EventQueue::clear`] keeps the
+//! allocation).
 
 use crate::time::SimTime;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 struct Entry<E> {
     time: SimTime,
@@ -15,32 +20,16 @@ struct Entry<E> {
     event: E,
 }
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want the earliest first.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+impl<E> Entry<E> {
+    #[inline]
+    fn key(&self) -> (SimTime, u64) {
+        (self.time, self.seq)
     }
 }
 
 /// Min-heap of timestamped events with FIFO tie-breaking.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    heap: Vec<Entry<E>>,
     next_seq: u64,
 }
 
@@ -54,7 +43,15 @@ impl<E> EventQueue<E> {
     /// An empty queue.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            heap: Vec::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// An empty queue with room for `cap` events before reallocating.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: Vec::with_capacity(cap),
             next_seq: 0,
         }
     }
@@ -68,16 +65,43 @@ impl<E> EventQueue<E> {
             seq,
             event,
         });
+        self.sift_up(self.heap.len() - 1);
     }
 
     /// Timestamp of the earliest pending event, if any.
+    #[inline]
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+        self.heap.first().map(|e| e.time)
     }
 
     /// Remove and return the earliest pending event.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|e| (e.time, e.event))
+        if self.heap.is_empty() {
+            return None;
+        }
+        let last = self.heap.len() - 1;
+        self.heap.swap(0, last);
+        let e = self.heap.pop().expect("non-empty");
+        if !self.heap.is_empty() {
+            self.sift_down(0);
+        }
+        Some((e.time, e.event))
+    }
+
+    /// Remove and return the earliest event **iff** it is due at or before
+    /// `limit` — the scheduler's peek-then-pop collapsed into one call.
+    #[inline]
+    pub fn pop_due(&mut self, limit: SimTime) -> Option<(SimTime, E)> {
+        match self.heap.first() {
+            Some(e) if e.time <= limit => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Drop all pending events, keeping the backing allocation (and the
+    /// insertion counter) so a refill does not reallocate.
+    pub fn clear(&mut self) {
+        self.heap.clear();
     }
 
     /// Number of pending events.
@@ -94,11 +118,43 @@ impl<E> EventQueue<E> {
     pub fn scheduled_total(&self) -> u64 {
         self.next_seq
     }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.heap[i].key() >= self.heap[parent].key() {
+                break;
+            }
+            self.heap.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.heap.len();
+        loop {
+            let l = 2 * i + 1;
+            if l >= n {
+                break;
+            }
+            let r = l + 1;
+            let mut smallest = l;
+            if r < n && self.heap[r].key() < self.heap[l].key() {
+                smallest = r;
+            }
+            if self.heap[smallest].key() >= self.heap[i].key() {
+                break;
+            }
+            self.heap.swap(i, smallest);
+            i = smallest;
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rng::SplitMix64;
     use crate::time::SimDuration;
 
     fn t(us: u64) -> SimTime {
@@ -140,5 +196,52 @@ mod tests {
         assert_eq!(q.pop().unwrap().1, 1);
         assert!(q.is_empty());
         assert_eq!(q.scheduled_total(), 3);
+    }
+
+    #[test]
+    fn pop_due_respects_limit() {
+        let mut q = EventQueue::new();
+        q.push(t(10), "a");
+        q.push(t(20), "b");
+        assert_eq!(q.pop_due(t(5)), None);
+        assert_eq!(q.pop_due(t(10)), Some((t(10), "a")));
+        assert_eq!(q.pop_due(t(15)), None);
+        assert_eq!(q.pop_due(t(25)), Some((t(20), "b")));
+        assert_eq!(q.pop_due(t(1_000)), None);
+    }
+
+    #[test]
+    fn random_fill_drains_sorted_and_stable() {
+        // Heap order must match a stable sort by (time, seq) for arbitrary
+        // interleavings — the determinism contract of the whole engine.
+        let mut rng = SplitMix64::new(0xDECAF);
+        for round in 0..20 {
+            let mut q = EventQueue::with_capacity(64);
+            let n = 1 + (rng.next_below(200) as usize);
+            let mut expect: Vec<(SimTime, u64)> = Vec::new();
+            for i in 0..n as u64 {
+                let at = SimTime(rng.next_below(50));
+                q.push(at, i);
+                expect.push((at, i));
+            }
+            expect.sort_by_key(|&(at, i)| (at, i));
+            let got: Vec<(SimTime, u64)> = std::iter::from_fn(|| q.pop()).collect();
+            assert_eq!(got, expect, "round {round}");
+        }
+    }
+
+    #[test]
+    fn clear_keeps_capacity_and_counter() {
+        let mut q = EventQueue::with_capacity(4);
+        for i in 0..10 {
+            q.push(t(i), i);
+        }
+        let cap = q.heap.capacity();
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.heap.capacity(), cap);
+        assert_eq!(q.scheduled_total(), 10, "seq counter survives clear");
+        q.push(t(1), 99);
+        assert_eq!(q.pop(), Some((t(1), 99)));
     }
 }

@@ -1,0 +1,182 @@
+//! Minimal mutex/condvar wrappers over `std::sync`.
+//!
+//! The build environment for this repository is fully offline (no crates.io
+//! registry), so the usual `parking_lot` dependency is replaced by these
+//! shims. They expose the subset of the `parking_lot` API the engine uses —
+//! non-poisoning `lock()` that returns the guard directly, `Condvar::wait`
+//! on a guard, and `MutexGuard::unlocked` — implemented on `std::sync`
+//! primitives. Poison errors are swallowed (`PoisonError::into_inner`):
+//! simulated-process panics are already captured and rethrown as
+//! [`crate::SimError::ProcPanic`], so a poisoned lock carries no extra
+//! information here.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::PoisonError;
+
+/// A non-poisoning mutual-exclusion lock.
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Create a new mutex holding `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Acquire the lock, blocking the current thread until it is available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard {
+            lock: self,
+            guard: Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner)),
+        }
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+/// RAII guard for [`Mutex`]; unlocks on drop.
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    /// `None` only transiently inside [`MutexGuard::unlocked`] / `Condvar::wait`.
+    guard: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<'a, T> MutexGuard<'a, T> {
+    /// Temporarily release the lock while running `f`, then reacquire it.
+    pub fn unlocked<U>(s: &mut Self, f: impl FnOnce() -> U) -> U {
+        s.guard = None;
+        let r = f();
+        s.guard = Some(s.lock.inner.lock().unwrap_or_else(PoisonError::into_inner));
+        r
+    }
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.guard.as_ref().expect("guard present")
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard.as_mut().expect("guard present")
+    }
+}
+
+/// A condition variable usable with [`MutexGuard`].
+#[derive(Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Create a new condition variable.
+    pub const fn new() -> Self {
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Atomically release the guard's lock and block until notified.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.guard.take().expect("guard present");
+        guard.guard = Some(
+            self.inner
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner),
+        );
+    }
+
+    /// Wake one waiting thread.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wake all waiting threads.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_and_mutate() {
+        let m = Mutex::new(1);
+        *m.lock() += 41;
+        assert_eq!(*m.lock(), 42);
+        assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn unlocked_releases_and_reacquires() {
+        let m = Arc::new(Mutex::new(0u32));
+        let mut g = m.lock();
+        *g = 1;
+        let m2 = m.clone();
+        let got = MutexGuard::unlocked(&mut g, move || {
+            // The lock must be free here.
+            let v = *m2.lock();
+            v + 1
+        });
+        assert_eq!(got, 2);
+        *g += 1;
+        drop(g);
+        assert_eq!(*m.lock(), 2);
+    }
+
+    #[test]
+    fn condvar_handoff() {
+        let shared = Arc::new((Mutex::new(false), Condvar::new()));
+        let s2 = shared.clone();
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*s2;
+            let mut g = m.lock();
+            while !*g {
+                cv.wait(&mut g);
+            }
+        });
+        {
+            let (m, cv) = &*shared;
+            *m.lock() = true;
+            cv.notify_one();
+        }
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn poisoned_lock_is_recovered() {
+        let m = Arc::new(Mutex::new(7));
+        let m2 = m.clone();
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison it");
+        })
+        .join();
+        assert_eq!(*m.lock(), 7, "poisoning is ignored");
+    }
+}

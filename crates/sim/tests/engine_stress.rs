@@ -56,7 +56,13 @@ fn hundred_processes_chain() {
             });
             if me + 1 < n {
                 ctx.with_world(move |_, api| {
-                    api.schedule(SimDuration::micros(1), Ev::Put { to: me + 1, v: v + 1 })
+                    api.schedule(
+                        SimDuration::micros(1),
+                        Ev::Put {
+                            to: me + 1,
+                            v: v + 1,
+                        },
+                    )
                 });
             } else {
                 assert_eq!(v, n as u64 - 1, "token incremented along the chain");

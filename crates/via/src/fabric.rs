@@ -19,8 +19,11 @@ use crate::types::{
     Completion, CompletionKind, CsRequest, DescId, Discriminator, MemHandle, NodeId, PeerRequest,
     ViId, ViState, ViaError,
 };
-use bytes::Bytes;
 use viampi_sim::{Api, SimDuration, World};
+
+/// Cheaply clonable immutable payload bytes (internal replacement for the
+/// `bytes` crate, which is unavailable in the offline build environment).
+pub type Bytes = std::sync::Arc<[u8]>;
 
 /// Payload of an in-flight message.
 #[derive(Debug, Clone)]
@@ -177,7 +180,7 @@ impl Fabric {
             }
             v.peer.expect("connected VI has a peer")
         };
-        let data = Bytes::copy_from_slice(&self.nics[node].regions[mem.0 as usize].data[off..off + len]);
+        let data = Bytes::from(&self.nics[node].regions[mem.0 as usize].data[off..off + len]);
         let desc = self.nics[node].alloc_desc();
         self.launch(
             api,
@@ -215,7 +218,7 @@ impl Fabric {
             }
             v.peer.expect("connected VI has a peer")
         };
-        let data = Bytes::copy_from_slice(&self.nics[node].regions[mem.0 as usize].data[off..off + len]);
+        let data = Bytes::from(&self.nics[node].regions[mem.0 as usize].data[off..off + len]);
         let desc = self.nics[node].alloc_desc();
         self.launch(
             api,
@@ -261,12 +264,15 @@ impl Fabric {
         let start = (api.now() + self.profile.doorbell).max(nic.tx_busy_until);
         let tx_done = start + self.profile.tx_time(bytes, live);
         nic.tx_busy_until = tx_done;
-        api.schedule_at(tx_done, FabricEvent::TxDone {
-            node,
-            vi,
-            desc,
-            kind,
-        });
+        api.schedule_at(
+            tx_done,
+            FabricEvent::TxDone {
+                node,
+                vi,
+                desc,
+                kind,
+            },
+        );
         let arrive = tx_done + self.profile.wire_latency + self.profile.nic_rx;
         api.schedule_at(arrive, FabricEvent::Deliver { pkt });
     }
@@ -287,9 +293,12 @@ impl Fabric {
             return Err(ViaError::RecvQueueFull);
         }
         let desc = nic.alloc_desc();
-        nic.vi_mut(vi)?
-            .recv_q
-            .push_back(RecvDesc { desc, mem, off, len });
+        nic.vi_mut(vi)?.recv_q.push_back(RecvDesc {
+            desc,
+            mem,
+            off,
+            len,
+        });
         Ok(desc)
     }
 
@@ -381,11 +390,14 @@ impl Fabric {
         let est = self.profile.conn_establish + extra;
         // The discovery side connects after the local handshake; the far
         // side additionally waits for the response to travel back.
-        api.schedule(est, FabricEvent::Established {
-            node: b,
-            vi: vi_b,
-            peer: (a, vi_a),
-        });
+        api.schedule(
+            est,
+            FabricEvent::Established {
+                node: b,
+                vi: vi_b,
+                peer: (a, vi_a),
+            },
+        );
         api.schedule(
             est + self.profile.conn_wire,
             FabricEvent::Established {
@@ -456,11 +468,14 @@ impl Fabric {
         };
         self.nics[req.from].vis[client_vi.0 as usize].state = ViState::Establishing;
         let est = self.profile.conn_accept + self.profile.conn_establish;
-        api.schedule(est, FabricEvent::Established {
-            node,
-            vi,
-            peer: (req.from, client_vi),
-        });
+        api.schedule(
+            est,
+            FabricEvent::Established {
+                node,
+                vi,
+                peer: (req.from, client_vi),
+            },
+        );
         api.schedule(
             est + self.profile.conn_wire,
             FabricEvent::Established {
@@ -486,10 +501,13 @@ impl Fabric {
             .ok_or(ViaError::NoSuchRequest)?;
         let req = self.nics[node].incoming_cs.remove(idx);
         if let Some(client_vi) = self.find_connecting(req.from, node, req.disc) {
-            api.schedule(self.profile.conn_wire, FabricEvent::CsRejected {
-                node: req.from,
-                vi: client_vi,
-            });
+            api.schedule(
+                self.profile.conn_wire,
+                FabricEvent::CsRejected {
+                    node: req.from,
+                    vi: client_vi,
+                },
+            );
         }
         Ok(())
     }
@@ -504,11 +522,14 @@ impl Fabric {
     ) {
         // Model a TCP-ish channel: fixed latency plus ~12 B/us.
         let lat = self.oob_latency + SimDuration::micros_f64(data.len() as f64 / 12.0);
-        api.schedule(lat, FabricEvent::OobDeliver {
-            dst: to,
-            from,
-            data,
-        });
+        api.schedule(
+            lat,
+            FabricEvent::OobDeliver {
+                dst: to,
+                from,
+                data,
+            },
+        );
     }
 }
 

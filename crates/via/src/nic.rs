@@ -303,7 +303,13 @@ mod tests {
         let mut nic = Nic::new(0);
         let a = nic.register(1000, 2000).unwrap();
         let err = nic.register(1500, 2000).unwrap_err();
-        assert!(matches!(err, ViaError::PinLimitExceeded { available: 1000, .. }));
+        assert!(matches!(
+            err,
+            ViaError::PinLimitExceeded {
+                available: 1000,
+                ..
+            }
+        ));
         let b = nic.register(1000, 2000).unwrap();
         assert_eq!(nic.stats.pinned_now, 2000);
         nic.deregister(a).unwrap();

@@ -6,11 +6,7 @@ use viampi_via::{
     fabric_engine, CompletionKind, DeviceProfile, Discriminator, MemHandle, ViaError, ViaPort,
 };
 
-fn connect_pair(
-    a: &ViaPort,
-    remote: usize,
-    disc: u64,
-) -> viampi_via::ViId {
+fn connect_pair(a: &ViaPort, remote: usize, disc: u64) -> viampi_via::ViId {
     let vi = a.create_vi().unwrap();
     a.connect_peer(vi, remote, Discriminator(disc)).unwrap();
     a.connect_wait(vi).unwrap();
@@ -29,10 +25,7 @@ fn recv_queue_depth_limit() {
         for i in 0..4 {
             port.post_recv(vi, mem, i * 64, 64).unwrap();
         }
-        assert_eq!(
-            port.post_recv(vi, mem, 0, 64),
-            Err(ViaError::RecvQueueFull)
-        );
+        assert_eq!(port.post_recv(vi, mem, 0, 64), Err(ViaError::RecvQueueFull));
     });
     eng.run().unwrap();
 }

@@ -64,7 +64,9 @@ fn solve(mpi: &Mpi) -> (f64, usize, usize) {
     }
 
     // Total heat (conserved up to boundary loss) via allreduce.
-    let local: f64 = (1..=rows).map(|lr| u[lr * N..(lr + 1) * N].iter().sum::<f64>()).sum();
+    let local: f64 = (1..=rows)
+        .map(|lr| u[lr * N..(lr + 1) * N].iter().sum::<f64>())
+        .sum();
     let total = mpi.allreduce(&[local], ReduceOp::Sum)[0];
     (total, mpi.live_vis(), mpi.nic_stats().pinned_peak)
 }
@@ -79,8 +81,7 @@ fn main() {
             .run(solve)
             .unwrap();
         let (heat, _, _) = report.results[0];
-        let avg_pinned: usize =
-            report.results.iter().map(|r| r.2).sum::<usize>() / np;
+        let avg_pinned: usize = report.results.iter().map(|r| r.2).sum::<usize>() / np;
         println!(
             "{label}  np={np}  total heat = {heat:10.3}  avg VIs/process = {:5.2}  \
              avg pinned = {:4} KiB  init = {}",
@@ -91,5 +92,8 @@ fn main() {
     }
     println!();
     println!("identical physics; the stencil only ever talks to 2 neighbours,");
-    println!("so on-demand pins 2 VIs' worth of buffers instead of {}.", np - 1);
+    println!(
+        "so on-demand pins 2 VIs' worth of buffers instead of {}.",
+        np - 1
+    );
 }

@@ -32,7 +32,10 @@ fn main() {
         })
         .unwrap();
 
-    println!("simulated {np}-rank run finished at t = {}", report.end_time);
+    println!(
+        "simulated {np}-rank run finished at t = {}",
+        report.end_time
+    );
     println!();
     for (rank, (got, total, vis, pinned)) in report.results.iter().enumerate() {
         println!(

@@ -32,7 +32,10 @@ fn sort_rank(mpi: &Mpi) -> (bool, usize) {
         let bytes = if let Some(blocks) = gathered {
             let mut all: Vec<u32> = blocks
                 .iter()
-                .flat_map(|b| b.chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().unwrap())))
+                .flat_map(|b| {
+                    b.chunks_exact(4)
+                        .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+                })
                 .collect();
             all.sort_unstable();
             let step = all.len() / size;
@@ -60,7 +63,10 @@ fn sort_rank(mpi: &Mpi) -> (bool, usize) {
     // 3. Local sort of the received range.
     keys = received
         .iter()
-        .flat_map(|b| b.chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().unwrap())))
+        .flat_map(|b| {
+            b.chunks_exact(4)
+                .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+        })
         .collect();
     keys.sort_unstable();
     mpi.compute(keys.len() as f64 * 10.0);
@@ -82,9 +88,14 @@ fn sort_rank(mpi: &Mpi) -> (bool, usize) {
 
 fn main() {
     let np = 12;
-    let report = Universe::new(np, Device::Berkeley, ConnMode::OnDemand, WaitPolicy::Polling)
-        .run(sort_rank)
-        .unwrap();
+    let report = Universe::new(
+        np,
+        Device::Berkeley,
+        ConnMode::OnDemand,
+        WaitPolicy::Polling,
+    )
+    .run(sort_rank)
+    .unwrap();
     let all_sorted = report.results.iter().all(|r| r.0);
     println!("sample sort on {np} Berkeley-VIA ranks: sorted = {all_sorted}");
     println!(

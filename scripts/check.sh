@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Pre-PR gate: formatting, lints, and the tier-1 build/test pair, all
+# offline (the build environment has no crate registry — see DESIGN.md §3).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== tier-1: cargo build --release (offline)"
+cargo build --release --offline
+
+echo "== tier-1: cargo test -q (offline, full workspace)"
+cargo test -q --offline --workspace
+
+echo "all checks passed"
