@@ -1,0 +1,186 @@
+//! Schedule-exploration and fault-injection driver.
+//!
+//! Runs small MPI programs across many random scheduler/fault seeds and
+//! checks connection state-machine legality, credit conservation, message
+//! delivery and FIFO order after each run (see `viampi_bench::simcheck`).
+//!
+//! ```text
+//! simcheck [--seeds N] [--start S] [--fault none|light|heavy] [--jobs J]
+//! simcheck --replay SEED [--fault ...]
+//! ```
+//!
+//! A batch prints every offending seed (replay key) and writes the summary
+//! to `results/simcheck.json`; the exit code is nonzero on any violation.
+
+use viampi_bench::report::{self, fmt};
+use viampi_bench::runner;
+use viampi_bench::simcheck::{run_seed, run_seeds, FaultKind, SeedOutcome};
+
+struct Args {
+    seeds: u64,
+    start: u64,
+    fault: FaultKind,
+    replay: Option<u64>,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().collect();
+    let mut args = Args {
+        seeds: 1000,
+        start: 0,
+        fault: FaultKind::Heavy,
+        replay: None,
+    };
+    let mut i = 1;
+    let value = |argv: &[String], i: usize, flag: &str| -> String {
+        argv.get(i + 1)
+            .unwrap_or_else(|| die(&format!("{flag} needs a value")))
+            .clone()
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--seeds" => {
+                args.seeds = value(&argv, i, "--seeds")
+                    .parse()
+                    .unwrap_or_else(|_| die("--seeds expects a number"));
+                i += 2;
+            }
+            "--start" => {
+                args.start = value(&argv, i, "--start")
+                    .parse()
+                    .unwrap_or_else(|_| die("--start expects a number"));
+                i += 2;
+            }
+            "--fault" => {
+                let v = value(&argv, i, "--fault");
+                args.fault =
+                    FaultKind::parse(&v).unwrap_or_else(|| die("--fault expects none|light|heavy"));
+                i += 2;
+            }
+            "--replay" => {
+                args.replay = Some(
+                    value(&argv, i, "--replay")
+                        .parse()
+                        .unwrap_or_else(|_| die("--replay expects a seed")),
+                );
+                i += 2;
+            }
+            "--jobs" => i += 2, // handled by runner::init_from_args
+            a if a.starts_with("--jobs=") => i += 1,
+            "--help" | "-h" => {
+                println!(
+                    "usage: simcheck [--seeds N] [--start S] \
+                     [--fault none|light|heavy] [--jobs J] [--replay SEED]"
+                );
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown argument: {other}")),
+        }
+    }
+    args
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("simcheck: {msg}");
+    std::process::exit(2);
+}
+
+fn describe(o: &SeedOutcome) -> String {
+    format!(
+        "seed {}: np={} program={} device={} conn={} wait={} fault={}",
+        o.seed, o.np, o.program, o.device, o.conn, o.wait, o.fault
+    )
+}
+
+fn main() {
+    runner::init_from_args();
+    let args = parse_args();
+
+    if let Some(seed) = args.replay {
+        let o = run_seed(seed, args.fault);
+        println!("{}", describe(&o));
+        println!(
+            "  end {} us, {} events, {} faults injected, {} retries, {} failures",
+            fmt(o.end_us),
+            o.events,
+            o.faults_injected,
+            o.conn_retries,
+            o.conn_failures
+        );
+        if o.violations.is_empty() {
+            println!("  all invariants hold");
+        } else {
+            for v in &o.violations {
+                println!("  VIOLATION: {v}");
+            }
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    println!(
+        "simcheck: {} seeds from {} (fault profile: {}, {} jobs)",
+        args.seeds,
+        args.start,
+        args.fault.name(),
+        runner::jobs()
+    );
+    let (outcomes, summary) =
+        runner::timed("simcheck", || run_seeds(args.start, args.seeds, args.fault));
+
+    let mut rows = Vec::new();
+    for program in ["ring", "storm", "shift-large", "all-to-all"] {
+        let group: Vec<&SeedOutcome> = outcomes.iter().filter(|o| o.program == program).collect();
+        if group.is_empty() {
+            continue;
+        }
+        rows.push(vec![
+            program.to_string(),
+            group.len().to_string(),
+            group
+                .iter()
+                .map(|o| o.faults_injected)
+                .sum::<u64>()
+                .to_string(),
+            group
+                .iter()
+                .map(|o| o.conn_retries)
+                .sum::<u64>()
+                .to_string(),
+            group
+                .iter()
+                .filter(|o| !o.violations.is_empty())
+                .count()
+                .to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        report::table(
+            &["program", "seeds", "faults", "retries", "violations"],
+            &rows
+        )
+    );
+
+    for o in outcomes.iter().filter(|o| !o.violations.is_empty()) {
+        println!("FAIL {}", describe(o));
+        for v in &o.violations {
+            println!("  {v}");
+        }
+        println!("  replay: simcheck --replay {} --fault {}", o.seed, o.fault);
+    }
+
+    report::write_json("simcheck", &summary);
+    println!("{}", runner::write_perf("simcheck_perf"));
+    println!(
+        "{} seeds, {} faults injected, {} retries, {} combos, {} failing",
+        summary.seeds,
+        summary.faults_injected,
+        summary.conn_retries,
+        summary.combos,
+        summary.failing
+    );
+    if summary.failing > 0 {
+        std::process::exit(1);
+    }
+}

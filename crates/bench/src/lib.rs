@@ -28,3 +28,4 @@ pub mod micro;
 pub mod minibench;
 pub mod report;
 pub mod runner;
+pub mod simcheck;

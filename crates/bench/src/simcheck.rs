@@ -1,0 +1,655 @@
+//! simcheck — deterministic fault-injection & schedule-exploration harness.
+//!
+//! Each seed deterministically derives a whole scenario: a world size, a
+//! small MPI program, a device, a connection mode, a wait policy, a
+//! scheduler tie-break seed and a fault-injector seed. The scenario is
+//! simulated with connection faults enabled, and a battery of invariants is
+//! checked on the outcome:
+//!
+//! * **connection state-machine legality** — every channel ends
+//!   `Unconnected` or `Connected`, symmetrically on both sides, with
+//!   exactly one connected VI per communicating pair (the simultaneous-
+//!   connect race and packet duplication must never yield twins);
+//! * **no credit leak** — for every connected pair, the sender's credits
+//!   plus the receiver's unreturned consumption equal the receiver's
+//!   buffer pool;
+//! * **no lost or duplicated message, per-sender FIFO** — payloads carry
+//!   `(sender, sequence)` and every rank checks it received exactly the
+//!   expected sequences, in order, with intact bytes;
+//! * **transparent recovery** — sub-budget packet loss must never surface
+//!   as an application error (`conn_failures == 0`).
+//!
+//! A violation reports the offending seed; rerunning that seed replays the
+//! identical schedule and fault pattern (see `--replay` on the `simcheck`
+//! binary).
+
+use crate::impl_json;
+use crate::runner::par_map;
+use viampi_core::{
+    ChanState, ChannelSnapshot, ConnMode, Device, FaultProfile, RunReport, Universe, WaitPolicy,
+};
+use viampi_sim::{SimDuration, SplitMix64};
+
+/// Fault intensity selector for a batch of seeds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// No fault injection at all: pure schedule exploration.
+    None,
+    /// [`FaultProfile::light`] rates.
+    Light,
+    /// [`FaultProfile::heavy`] rates.
+    Heavy,
+}
+
+impl FaultKind {
+    /// Parse a `--fault` argument.
+    pub fn parse(s: &str) -> Option<FaultKind> {
+        match s {
+            "none" => Some(FaultKind::None),
+            "light" => Some(FaultKind::Light),
+            "heavy" => Some(FaultKind::Heavy),
+            _ => None,
+        }
+    }
+
+    /// Name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::None => "none",
+            FaultKind::Light => "light",
+            FaultKind::Heavy => "heavy",
+        }
+    }
+
+    fn profile(self, seed: u64) -> Option<FaultProfile> {
+        match self {
+            FaultKind::None => None,
+            FaultKind::Light => Some(FaultProfile::light(seed)),
+            FaultKind::Heavy => Some(FaultProfile::heavy(seed)),
+        }
+    }
+}
+
+/// The small MPI programs the harness cycles through. Every program is
+/// symmetric enough that both ends of each communicating pair initiate the
+/// channel (a rank that stops progressing can otherwise strand a peer whose
+/// retransmissions it alone could answer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Program {
+    /// Directed eager traffic around a ring, `m` messages per hop.
+    Ring,
+    /// Connection storm: rank 0 receives `(np-1) * m` `MPI_ANY_SOURCE`
+    /// messages while every other rank sends and awaits a directed ack —
+    /// the §3.5 worst case (wildcard receive connects to every peer).
+    Storm,
+    /// Pairwise sendrecv rounds with rendezvous-sized payloads.
+    ShiftLarge,
+    /// Every rank exchanges `m` eager messages with every other rank.
+    AllToAll,
+}
+
+impl Program {
+    fn name(self) -> &'static str {
+        match self {
+            Program::Ring => "ring",
+            Program::Storm => "storm",
+            Program::ShiftLarge => "shift-large",
+            Program::AllToAll => "all-to-all",
+        }
+    }
+}
+
+/// Fully derived scenario for one seed.
+#[derive(Debug, Clone)]
+struct Scenario {
+    np: usize,
+    program: Program,
+    device: Device,
+    conn: ConnMode,
+    wait: WaitPolicy,
+    dynamic_credits: bool,
+    sched_seed: u64,
+    fault_seed: u64,
+    /// Messages per pair/hop.
+    m: u32,
+}
+
+/// Derive the scenario for `seed` (a pure function of the seed).
+fn derive(seed: u64) -> Scenario {
+    let mut rng = SplitMix64::new(seed ^ 0x51AC_C4EC_5EED_0001);
+    Scenario {
+        np: 2 + rng.next_below(5) as usize,
+        program: match rng.next_below(4) {
+            0 => Program::Ring,
+            1 => Program::Storm,
+            2 => Program::ShiftLarge,
+            _ => Program::AllToAll,
+        },
+        device: if rng.next_below(2) == 0 {
+            Device::Clan
+        } else {
+            Device::Berkeley
+        },
+        conn: match rng.next_below(10) {
+            0..=5 => ConnMode::OnDemand,
+            6..=7 => ConnMode::StaticPeerToPeer,
+            _ => ConnMode::StaticClientServer,
+        },
+        wait: if rng.next_below(2) == 0 {
+            WaitPolicy::Polling
+        } else {
+            WaitPolicy::spinwait_default()
+        },
+        dynamic_credits: rng.next_below(4) == 0,
+        sched_seed: rng.next_u64(),
+        fault_seed: rng.next_u64(),
+        m: 2 + rng.next_below(3) as u32,
+    }
+}
+
+/// Deterministic payload for message `seq` from `src` of length `len`.
+fn payload(src: usize, seq: u32, len: usize) -> Vec<u8> {
+    let mut rng = SplitMix64::new(((src as u64) << 32) ^ seq as u64 ^ 0xC0FFEE);
+    let mut v = Vec::with_capacity(len + 5);
+    v.push(src as u8);
+    v.extend_from_slice(&seq.to_le_bytes());
+    for _ in 0..len {
+        v.push(rng.next_u64() as u8);
+    }
+    v
+}
+
+/// One received message, as recorded by a rank: `(source, sequence,
+/// payload intact)`.
+type RecvRecord = (usize, u32, bool);
+
+fn decode(data: &[u8]) -> RecvRecord {
+    if data.len() < 5 {
+        return (usize::MAX, u32::MAX, false);
+    }
+    let src = data[0] as usize;
+    let seq = u32::from_le_bytes([data[1], data[2], data[3], data[4]]);
+    (
+        src,
+        seq,
+        data == payload(src, seq, data.len() - 5).as_slice(),
+    )
+}
+
+/// Outcome of one seed.
+#[derive(Debug, Clone)]
+pub struct SeedOutcome {
+    /// The seed (replay key).
+    pub seed: u64,
+    /// World size.
+    pub np: usize,
+    /// Program name.
+    pub program: String,
+    /// Device name.
+    pub device: String,
+    /// Connection mode name.
+    pub conn: String,
+    /// Wait policy name.
+    pub wait: String,
+    /// Fault intensity.
+    pub fault: String,
+    /// Virtual makespan, µs.
+    pub end_us: f64,
+    /// Engine events processed.
+    pub events: u64,
+    /// Faults the fabric injected.
+    pub faults_injected: u64,
+    /// Connection retries across ranks.
+    pub conn_retries: u64,
+    /// Channels failed after budget exhaustion (must be 0).
+    pub conn_failures: u64,
+    /// Invariant violations (empty = pass).
+    pub violations: Vec<String>,
+}
+
+impl_json!(SeedOutcome {
+    seed,
+    np,
+    program,
+    device,
+    conn,
+    wait,
+    fault,
+    end_us,
+    events,
+    faults_injected,
+    conn_retries,
+    conn_failures,
+    violations,
+});
+
+/// Batch summary written to `results/simcheck.json`.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// Fault intensity of the batch.
+    pub fault: String,
+    /// First seed.
+    pub start: u64,
+    /// Seeds run.
+    pub seeds: u64,
+    /// Seeds with at least one invariant violation.
+    pub failing: u64,
+    /// The offending seeds (replay keys).
+    pub failing_seeds: Vec<u64>,
+    /// Engine events across the batch.
+    pub events: u64,
+    /// Faults injected across the batch.
+    pub faults_injected: u64,
+    /// Connection retries across the batch.
+    pub conn_retries: u64,
+    /// Distinct `(program, conn)` combinations exercised.
+    pub combos: u64,
+}
+
+impl_json!(Summary {
+    fault,
+    start,
+    seeds,
+    failing,
+    failing_seeds,
+    events,
+    faults_injected,
+    conn_retries,
+    combos,
+});
+
+/// After the program body, drive progress until no connection is pending
+/// (injected loss can push a handshake several backoff periods out), then
+/// synchronize virtual clocks with a barrier and run a few settle rounds
+/// so in-flight credit returns land and are processed.
+///
+/// The barrier matters: retry backoff can stretch one rank's timeline by
+/// thousands of virtual microseconds, and a rank that finalizes early in
+/// virtual time never polls for credit-return messages its slower peers
+/// send later. That shows up as a phantom credit leak in the invariant
+/// check; after the barrier every rank's settle window covers its peers'
+/// returns.
+fn quiesce(mpi: &viampi_core::Mpi) {
+    let round = SimDuration::micros(600);
+    let drain = |label: &str| {
+        let mut rounds = 0u32;
+        while mpi.pending_connections() > 0 {
+            mpi.advance(round);
+            mpi.progress();
+            rounds += 1;
+            assert!(
+                rounds < 10_000,
+                "quiesce ({label}) did not converge: connection stuck beyond every backoff"
+            );
+        }
+    };
+    drain("pre-barrier");
+    mpi.barrier();
+    // The barrier itself may have opened new channels under fault
+    // injection; let those handshakes finish too.
+    drain("post-barrier");
+    for _ in 0..6 {
+        mpi.advance(round);
+        mpi.progress();
+    }
+}
+
+/// Run the scenario's program on one rank; returns the receive log.
+fn run_program(mpi: &viampi_core::Mpi, sc: &Scenario) -> Vec<RecvRecord> {
+    let rank = mpi.rank();
+    let np = mpi.size();
+    let m = sc.m;
+    let mut log = Vec::new();
+    match sc.program {
+        Program::Ring => {
+            let next = (rank + 1) % np;
+            let prev = (rank + np - 1) % np;
+            let mut reqs = Vec::new();
+            let mut sends = Vec::new();
+            for seq in 0..m {
+                reqs.push(mpi.irecv(Some(prev), Some(0)));
+                sends.push(mpi.isend(&payload(rank, seq, 48), next, 0));
+            }
+            for seq in 0..m {
+                sends.push(mpi.isend(&payload(rank, m + seq, 48), next, 1));
+            }
+            for r in reqs {
+                let (data, _) = mpi.wait(r);
+                log.push(decode(&data.unwrap()));
+            }
+            for _ in 0..m {
+                let (data, _) = mpi.recv(Some(prev), Some(1));
+                log.push(decode(&data));
+            }
+            mpi.waitall(&sends);
+        }
+        Program::Storm => {
+            if rank == 0 {
+                let total = (np - 1) as u32 * m;
+                let reqs: Vec<_> = (0..total)
+                    .map(|_| mpi.irecv(viampi_core::ANY_SOURCE, Some(0)))
+                    .collect();
+                for (data, _) in mpi.waitall(&reqs) {
+                    log.push(decode(&data.unwrap()));
+                }
+                // Directed ack back to every sender (gives the senders a
+                // receive so both pair ends keep progressing).
+                for peer in 1..np {
+                    mpi.send(&payload(0, 0, 16), peer, 9);
+                }
+            } else {
+                for seq in 0..m {
+                    mpi.send(&payload(rank, seq, 64), 0, 0);
+                }
+                let (data, _) = mpi.recv(Some(0), Some(9));
+                log.push(decode(&data));
+            }
+        }
+        Program::ShiftLarge => {
+            // One rendezvous-sized and one eager exchange per shift.
+            for k in 1..np {
+                let dst = (rank + k) % np;
+                let src = (rank + np - k) % np;
+                let (data, _) =
+                    mpi.sendrecv(&payload(rank, k as u32, 7000), dst, 0, Some(src), Some(0));
+                log.push(decode(&data));
+                let (data, _) = mpi.sendrecv(
+                    &payload(rank, np as u32 + k as u32, 32),
+                    dst,
+                    1,
+                    Some(src),
+                    Some(1),
+                );
+                log.push(decode(&data));
+            }
+        }
+        Program::AllToAll => {
+            let mut reqs = Vec::new();
+            let mut sends = Vec::new();
+            for seq in 0..m {
+                for peer in 0..np {
+                    if peer != rank {
+                        reqs.push(mpi.irecv(Some(peer), Some(0)));
+                        sends.push(mpi.isend(&payload(rank, seq, 40), peer, 0));
+                    }
+                }
+            }
+            for (data, _) in mpi.waitall(&reqs) {
+                log.push(decode(&data.unwrap()));
+            }
+            mpi.waitall(&sends);
+        }
+    }
+    quiesce(mpi);
+    log
+}
+
+/// Expected per-source sequence streams for `rank` under the scenario.
+/// Returns `(source, sequences-in-FIFO-order)` pairs.
+fn expected_streams(sc: &Scenario, rank: usize) -> Vec<(usize, Vec<u32>)> {
+    let np = sc.np;
+    let m = sc.m;
+    match sc.program {
+        Program::Ring => {
+            let prev = (rank + np - 1) % np;
+            vec![(prev, (0..2 * m).collect())]
+        }
+        Program::Storm => {
+            if rank == 0 {
+                (1..np).map(|s| (s, (0..m).collect())).collect()
+            } else {
+                vec![(0, vec![0])]
+            }
+        }
+        Program::ShiftLarge => (1..np)
+            .map(|k| {
+                let src = (rank + np - k) % np;
+                (src, vec![k as u32, (np + k) as u32])
+            })
+            .collect(),
+        Program::AllToAll => (0..np)
+            .filter(|&s| s != rank)
+            .map(|s| (s, (0..m).collect()))
+            .collect(),
+    }
+}
+
+/// Check every invariant on a finished run; returns human-readable
+/// violations (empty = pass).
+fn check_invariants(sc: &Scenario, report: &RunReport<Vec<RecvRecord>>) -> Vec<String> {
+    let mut v = Vec::new();
+    let np = sc.np;
+    let snap = |i: usize, j: usize| -> &ChannelSnapshot {
+        report.ranks[i]
+            .channels
+            .iter()
+            .find(|c| c.peer == j)
+            .expect("snapshot for every peer")
+    };
+
+    // 1. Connection state-machine legality: terminal states only, no
+    //    leftover queued sends or in-flight descriptors.
+    for i in 0..np {
+        for c in &report.ranks[i].channels {
+            if !matches!(c.state, ChanState::Unconnected | ChanState::Connected) {
+                v.push(format!(
+                    "rank {i} -> {}: non-terminal channel state {:?}",
+                    c.peer, c.state
+                ));
+            }
+            if c.pending != 0 {
+                v.push(format!(
+                    "rank {i} -> {}: {} sends still queued at finalize",
+                    c.peer, c.pending
+                ));
+            }
+            if c.inflight != 0 {
+                v.push(format!(
+                    "rank {i} -> {}: {} descriptors in flight at finalize",
+                    c.peer, c.inflight
+                ));
+            }
+            if c.connected_vis_to_peer > 1 {
+                v.push(format!(
+                    "rank {i} -> {}: {} connected VIs for one pair",
+                    c.peer, c.connected_vis_to_peer
+                ));
+            }
+            if c.state == ChanState::Connected && !c.vi_connected {
+                v.push(format!(
+                    "rank {i} -> {}: channel Connected but VI is not",
+                    c.peer
+                ));
+            }
+        }
+    }
+
+    // 2. Symmetric connectivity + exactly one VI per connected pair.
+    for i in 0..np {
+        for j in (i + 1)..np {
+            let a = snap(i, j);
+            let b = snap(j, i);
+            let ac = a.state == ChanState::Connected;
+            let bc = b.state == ChanState::Connected;
+            if ac != bc {
+                v.push(format!(
+                    "pair ({i},{j}): asymmetric states {:?} vs {:?}",
+                    a.state, b.state
+                ));
+            }
+            if ac && bc && (a.connected_vis_to_peer != 1 || b.connected_vis_to_peer != 1) {
+                v.push(format!(
+                    "pair ({i},{j}): connected pair has {}/{} VIs, want 1/1",
+                    a.connected_vis_to_peer, b.connected_vis_to_peer
+                ));
+            }
+        }
+    }
+
+    // 3. No credit leak: sender credits + receiver's unreturned consumption
+    //    must equal the receiver's posted pool, in both directions.
+    for i in 0..np {
+        for j in 0..np {
+            if i == j {
+                continue;
+            }
+            let tx = snap(i, j);
+            let rx = snap(j, i);
+            if tx.state == ChanState::Connected
+                && rx.state == ChanState::Connected
+                && tx.credits + rx.credits_owed != rx.bufs
+            {
+                v.push(format!(
+                    "credit leak {i} -> {j}: {} held + {} owed != {} bufs",
+                    tx.credits, rx.credits_owed, rx.bufs
+                ));
+            }
+        }
+    }
+
+    // 4. Exactly-once delivery, intact payloads, per-sender FIFO.
+    for rank in 0..np {
+        let log = &report.results[rank];
+        for &(src, seq, ok) in log {
+            if !ok {
+                v.push(format!("rank {rank}: corrupt payload ({src}, {seq})"));
+            }
+        }
+        for (src, want) in expected_streams(sc, rank) {
+            let got: Vec<u32> = log
+                .iter()
+                .filter(|&&(s, _, _)| s == src)
+                .map(|&(_, q, _)| q)
+                .collect();
+            if got != want {
+                v.push(format!(
+                    "rank {rank} <- {src}: sequence stream {got:?}, want {want:?} \
+                     (lost/duplicated/reordered message)"
+                ));
+            }
+        }
+    }
+
+    // 5. Sub-budget faults must be invisible to the application.
+    let failures: u64 = report.ranks.iter().map(|r| r.mpi.conn_failures).sum();
+    if failures > 0 {
+        v.push(format!(
+            "{failures} channel(s) exhausted the retry budget under sub-budget fault rates"
+        ));
+    }
+    v
+}
+
+/// Run one seed and check every invariant.
+pub fn run_seed(seed: u64, kind: FaultKind) -> SeedOutcome {
+    let sc = derive(seed);
+    let mut uni = Universe::new(sc.np, sc.device, sc.conn, sc.wait);
+    {
+        let cfg = uni.config_mut();
+        cfg.faults = kind.profile(sc.fault_seed);
+        cfg.sched_seed = Some(sc.sched_seed);
+        cfg.dynamic_credits = sc.dynamic_credits;
+    }
+    let sc2 = sc.clone();
+    let report = uni
+        .run(move |mpi| run_program(mpi, &sc2))
+        .unwrap_or_else(|e| panic!("seed {seed}: simulation failed: {e}"));
+    let violations = check_invariants(&sc, &report);
+    SeedOutcome {
+        seed,
+        np: sc.np,
+        program: sc.program.name().to_string(),
+        device: sc.device.name().to_string(),
+        conn: sc.conn.name().to_string(),
+        wait: sc.wait.name().to_string(),
+        fault: kind.name().to_string(),
+        end_us: report.end_time.as_secs_f64() * 1e6,
+        events: report.events,
+        faults_injected: report.fault_stats.total(),
+        conn_retries: report.ranks.iter().map(|r| r.mpi.conn_retries).sum(),
+        conn_failures: report.ranks.iter().map(|r| r.mpi.conn_failures).sum(),
+        violations,
+    }
+}
+
+/// Run `count` seeds starting at `start` (in parallel) and summarize.
+pub fn run_seeds(start: u64, count: u64, kind: FaultKind) -> (Vec<SeedOutcome>, Summary) {
+    let outcomes = par_map((start..start + count).collect(), |seed| {
+        run_seed(seed, kind)
+    });
+    let failing_seeds: Vec<u64> = outcomes
+        .iter()
+        .filter(|o| !o.violations.is_empty())
+        .map(|o| o.seed)
+        .collect();
+    let mut combos: Vec<(String, String)> = outcomes
+        .iter()
+        .map(|o| (o.program.clone(), o.conn.clone()))
+        .collect();
+    combos.sort();
+    combos.dedup();
+    let summary = Summary {
+        fault: kind.name().to_string(),
+        start,
+        seeds: count,
+        failing: failing_seeds.len() as u64,
+        failing_seeds,
+        events: outcomes.iter().map(|o| o.events).sum(),
+        faults_injected: outcomes.iter().map(|o| o.faults_injected).sum(),
+        conn_retries: outcomes.iter().map(|o| o.conn_retries).sum(),
+        combos: combos.len() as u64,
+    };
+    (outcomes, summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derivation_is_deterministic_and_varied() {
+        let a = derive(17);
+        let b = derive(17);
+        assert_eq!(a.np, b.np);
+        assert_eq!(a.sched_seed, b.sched_seed);
+        assert_eq!(a.fault_seed, b.fault_seed);
+        let programs: std::collections::HashSet<&str> =
+            (0..64).map(|s| derive(s).program.name()).collect();
+        assert_eq!(programs.len(), 4, "all programs appear in 64 seeds");
+        let conns: std::collections::HashSet<&str> =
+            (0..64).map(|s| derive(s).conn.name()).collect();
+        assert_eq!(conns.len(), 3, "all connection modes appear in 64 seeds");
+    }
+
+    #[test]
+    fn payloads_roundtrip() {
+        let p = payload(3, 9, 48);
+        assert_eq!(decode(&p), (3, 9, true));
+        let mut corrupt = p.clone();
+        corrupt[10] ^= 0xFF;
+        assert!(!decode(&corrupt).2);
+    }
+
+    #[test]
+    fn a_fault_free_seed_passes_all_invariants() {
+        let o = run_seed(1, FaultKind::None);
+        assert!(o.violations.is_empty(), "{:?}", o.violations);
+        assert_eq!(o.faults_injected, 0);
+    }
+
+    #[test]
+    fn a_heavy_fault_seed_passes_all_invariants() {
+        let o = run_seed(2, FaultKind::Heavy);
+        assert!(o.violations.is_empty(), "{:?}", o.violations);
+    }
+
+    #[test]
+    fn seed_outcomes_replay_identically() {
+        let a = run_seed(5, FaultKind::Light);
+        let b = run_seed(5, FaultKind::Light);
+        assert_eq!(a.end_us.to_bits(), b.end_us.to_bits());
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.faults_injected, b.faults_injected);
+        assert_eq!(a.conn_retries, b.conn_retries);
+    }
+}

@@ -98,6 +98,52 @@ fn npb_point_is_identical_under_jobs_1_and_n() {
 }
 
 #[test]
+fn fault_injected_outcome_is_bit_identical_across_repeats() {
+    // Fault injection must not break replayability: the injector draws
+    // from its own seeded stream, so the same seed gives the same drops,
+    // duplications, delays and retries — and therefore the same virtual
+    // times, event counts and counters, down to the serialized bytes.
+    // Under VIAMPI_NO_FASTPATH=1 the same constants pin the engine path
+    // (see `outcome_matches_with_fast_path_disabled_if_env_set`).
+    for seed in [3u64, 8, 21] {
+        let a = viampi_bench::simcheck::run_seed(seed, viampi_bench::simcheck::FaultKind::Heavy);
+        let b = viampi_bench::simcheck::run_seed(seed, viampi_bench::simcheck::FaultKind::Heavy);
+        assert!(a.violations.is_empty(), "seed {seed}: {:?}", a.violations);
+        assert_eq!(
+            to_string_pretty(&a),
+            to_string_pretty(&b),
+            "seed {seed}: fault-injected replay diverged"
+        );
+    }
+}
+
+#[test]
+fn simcheck_batch_is_identical_under_jobs_1_and_n() {
+    // A fault-injected simcheck batch fans out over the worker pool; the
+    // outcomes and the summary must not depend on the worker count.
+    runner::set_jobs(1);
+    let (serial_outcomes, serial_summary) =
+        viampi_bench::simcheck::run_seeds(0, 16, viampi_bench::simcheck::FaultKind::Light);
+    runner::set_jobs(4);
+    let (parallel_outcomes, parallel_summary) =
+        viampi_bench::simcheck::run_seeds(0, 16, viampi_bench::simcheck::FaultKind::Light);
+    runner::set_jobs(0);
+    assert_eq!(
+        to_string_pretty(&serial_summary),
+        to_string_pretty(&parallel_summary),
+        "simcheck summary must not depend on the worker count"
+    );
+    for (s, p) in serial_outcomes.iter().zip(&parallel_outcomes) {
+        assert_eq!(
+            to_string_pretty(s),
+            to_string_pretty(p),
+            "seed {}: outcome differs between --jobs 1 and --jobs 4",
+            s.seed
+        );
+    }
+}
+
+#[test]
 fn outcome_matches_with_fast_path_disabled_if_env_set() {
     // When the whole test process runs under VIAMPI_NO_FASTPATH=1 this
     // checks the engine path; otherwise it checks the fast path. Either

@@ -2,7 +2,7 @@
 //! policy, and protocol tuning knobs (eager threshold, credits, buffers).
 
 use viampi_sim::SimDuration;
-use viampi_via::DeviceProfile;
+use viampi_via::{DeviceProfile, FaultProfile};
 
 /// Which simulated interconnect to run on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -133,6 +133,23 @@ pub struct MpiConfig {
     pub initial_bufs: usize,
     /// Record a per-rank protocol trace (see [`crate::trace`]).
     pub trace: bool,
+    /// Base connection retry timeout, µs. Comfortably above a fault-free
+    /// establishment (~205 µs on cLAN, ~390 µs on Berkeley VIA), so a retry
+    /// only ever fires on an actually-lost packet. Doubles on each attempt.
+    pub conn_retry_timeout_us: u64,
+    /// Retry budget per connection: after this many retransmissions the
+    /// channel is failed and pending requests error out.
+    pub conn_retry_max: u32,
+    /// Connection-path fault injection (see [`viampi_via::fault`]). `None`
+    /// — the default and the setting of every experiment — leaves the
+    /// fabric perfectly reliable *and* disarms the retry machinery, so
+    /// fault-free runs schedule no extra timer events and stay bit-identical
+    /// with earlier revisions.
+    pub faults: Option<FaultProfile>,
+    /// Schedule-exploration seed for the engine's equal-clock tie-break
+    /// (see [`viampi_sim::Engine::set_sched_seed`]). `None` keeps the
+    /// default round-robin order.
+    pub sched_seed: Option<u64>,
 }
 
 impl MpiConfig {
@@ -154,6 +171,10 @@ impl MpiConfig {
             dynamic_credits: false,
             initial_bufs: 4,
             trace: false,
+            conn_retry_timeout_us: 2000,
+            conn_retry_max: 10,
+            faults: None,
+            sched_seed: None,
         }
     }
 

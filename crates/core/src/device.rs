@@ -22,8 +22,8 @@ use crate::matching::{MatchEngine, PostedRecv, Unexpected, UnexpectedBody};
 use crate::protocol::{Header, MsgKind, HEADER_LEN};
 use crate::request::{SendMode, Status};
 use std::collections::{HashMap, VecDeque};
-use viampi_sim::SimDuration;
-use viampi_via::{CompletionKind, Discriminator, MemHandle, ViId, ViState, ViaPort};
+use viampi_sim::{SimDuration, SimTime};
+use viampi_via::{CompletionKind, Discriminator, MemHandle, ViId, ViState, ViaError, ViaPort};
 
 /// Channel connection state (mirrors the per-peer FSM of §4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,6 +34,9 @@ pub enum ChanState {
     Connecting,
     /// Fully connected; the FIFO has been drained into the VI.
     Connected,
+    /// The connection retry budget was exhausted (fault injection only);
+    /// queued and future requests toward this peer fail.
+    Failed,
 }
 
 /// What an in-flight send descriptor was carrying.
@@ -84,6 +87,11 @@ pub struct Channel {
     /// Remote buffers we consumed and reposted but have not yet returned.
     pub credits_owed: usize,
     outq: VecDeque<OutMsg>,
+    /// Virtual time at which the pending connect is retried (armed only
+    /// while `Connecting` and only under fault injection).
+    conn_deadline: SimTime,
+    /// Retransmissions issued for the pending connect.
+    conn_attempts: u32,
 }
 
 impl Channel {
@@ -103,6 +111,8 @@ impl Channel {
             credits: 0,
             credits_owed: 0,
             outq: VecDeque::new(),
+            conn_deadline: SimTime::ZERO,
+            conn_attempts: 0,
         }
     }
 
@@ -131,6 +141,8 @@ impl Channel {
 /// Internal request record.
 struct ReqState {
     done: bool,
+    /// Completed with an error (peer unreachable) rather than a result.
+    failed: bool,
     status: Status,
     /// Recv: completed payload. Send (rendezvous): retained user data until
     /// the CTS arrives.
@@ -168,6 +180,11 @@ pub struct MpiStats {
     pub fifo_deferred_sends: u64,
     /// Dynamic-flow-control pool growths (future-work extension).
     pub credit_growths: u64,
+    /// Connection retransmissions issued (only non-zero under fault
+    /// injection; includes VI-creation retries after transient failures).
+    pub conn_retries: u64,
+    /// Channels failed after exhausting the retry budget.
+    pub conn_failures: u64,
 }
 
 /// The per-rank ADI device.
@@ -189,6 +206,9 @@ pub struct Device {
     vi_to_peer: HashMap<u32, usize>,
     /// Next virtual time at which modelled OS noise preempts this rank.
     next_noise_at: viampi_sim::SimTime,
+    /// Latest connection-retry deadline a timer event has been scheduled
+    /// for (deduplicates timer arming; `None` when no timer is pending).
+    armed_conn_timer: Option<SimTime>,
     /// Recorded protocol events (empty unless `cfg.trace`).
     pub trace: Vec<crate::trace::TraceEvent>,
     /// MPI-level counters.
@@ -220,6 +240,7 @@ impl Device {
             next_req: 1,
             vi_to_peer: HashMap::new(),
             next_noise_at: viampi_sim::SimTime::ZERO,
+            armed_conn_timer: None,
             trace: Vec::new(),
             stats: MpiStats::default(),
         }
@@ -332,8 +353,18 @@ impl Device {
         {
             let stamp = self.port.activity_stamp();
             if !self.conn_progress() {
-                self.port.wait_activity(stamp);
+                self.conn_idle_wait(stamp);
             }
+        }
+        if let Some(peer) = self
+            .channels
+            .iter()
+            .position(|c| c.state == ChanState::Failed)
+        {
+            panic!(
+                "static peer-to-peer init: connection to rank {peer} failed \
+                 after exhausting the retry budget"
+            );
         }
     }
 
@@ -359,7 +390,9 @@ impl Device {
                         }
                         self.port.wait_activity(stamp);
                     };
-                    let vi = self.provision_channel(j);
+                    let vi = self
+                        .provision_channel(j)
+                        .unwrap_or_else(|e| panic!("provision channel to rank {j}: {e}"));
                     self.port
                         .accept_cs(req.id, vi)
                         .expect("accept pending request");
@@ -367,7 +400,9 @@ impl Device {
                     assert_eq!(st, ViState::Connected);
                     self.finish_connect(j);
                 } else if self.rank == j {
-                    let vi = self.provision_channel(i);
+                    let vi = self
+                        .provision_channel(i)
+                        .unwrap_or_else(|e| panic!("provision channel to rank {i}: {e}"));
                     self.port
                         .connect_request(vi, i, pair_disc(i, j))
                         .expect("issue client request");
@@ -379,11 +414,20 @@ impl Device {
         }
     }
 
+    /// True when the connection retry machinery is armed. Gated on fault
+    /// injection so fault-free runs schedule no extra timer events and stay
+    /// bit-identical with earlier revisions.
+    fn retries_enabled(&self) -> bool {
+        self.cfg.faults.is_some()
+    }
+
     /// Create the VI + buffer pools for `peer` and pre-post the receive
     /// descriptors, but do not connect (shared by all managers; descriptors
     /// must be in place *before* the connection completes or early arrivals
-    /// would be dropped).
-    fn provision_channel(&mut self, peer: usize) -> ViId {
+    /// would be dropped). Transient VI-creation failures (fault injection)
+    /// are retried up to the configured budget; only an exhausted budget
+    /// surfaces as an error.
+    fn provision_channel(&mut self, peer: usize) -> Result<ViId, ViaError> {
         debug_assert_eq!(self.channels[peer].state, ChanState::Unconnected);
         // Under dynamic flow control (the paper's future-work extension)
         // each side starts with a small chunk and grows under pressure;
@@ -394,7 +438,21 @@ impl Device {
             self.cfg.num_bufs
         };
         let bsz = self.cfg.buf_size;
-        let vi = self.port.create_vi().expect("VI limit reached");
+        let mut attempt = 0u32;
+        let vi = loop {
+            match self.port.create_vi() {
+                Ok(vi) => break vi,
+                Err(ViaError::TransientFailure) => {
+                    attempt += 1;
+                    self.stats.conn_retries += 1;
+                    self.trace(crate::trace::TraceKind::ConnRetry { peer, attempt });
+                    if attempt > self.cfg.conn_retry_max {
+                        return Err(ViaError::TransientFailure);
+                    }
+                }
+                Err(e) => panic!("create VI for peer {peer}: {e}"),
+            }
+        };
         let recv_mem = self.port.register(chunk * bsz).expect("pin recv pool");
         let send_mem = self.port.register(chunk * bsz).expect("pin send pool");
         let mut recv_slots = VecDeque::with_capacity(chunk);
@@ -414,8 +472,9 @@ impl Device {
         ch.free_send_slots = (0..chunk).rev().collect();
         ch.credits = chunk;
         ch.state = ChanState::Connecting;
+        ch.conn_attempts = 0;
         self.vi_to_peer.insert(vi.0, peer);
-        vi
+        Ok(vi)
     }
 
     /// Dynamic flow control: grow `peer`'s receive pool by one chunk and
@@ -467,11 +526,40 @@ impl Device {
         if self.channels[peer].state != ChanState::Unconnected {
             return;
         }
-        let vi = self.provision_channel(peer);
+        let vi = match self.provision_channel(peer) {
+            Ok(vi) => vi,
+            Err(_) => {
+                // VI creation failed past the transient-retry budget.
+                self.fail_channel(peer);
+                return;
+            }
+        };
         self.port
             .connect_peer(vi, peer, pair_disc(self.rank, peer))
             .expect("issue peer connect");
+        if self.retries_enabled() {
+            let timeout = SimDuration::micros(self.cfg.conn_retry_timeout_us);
+            self.channels[peer].conn_deadline = self.port.ctx().now() + timeout;
+        }
         self.trace(crate::trace::TraceKind::ConnIssued { peer });
+    }
+
+    /// Give up on the connection to `peer`: drop its queued sends and fail
+    /// every live request bound to it (the clean error path a deliberately
+    /// exhausted retry budget must take instead of hanging `finalize`).
+    fn fail_channel(&mut self, peer: usize) {
+        let attempts = self.channels[peer].conn_attempts;
+        self.stats.conn_failures += 1;
+        self.trace(crate::trace::TraceKind::ConnFailed { peer, attempts });
+        let ch = &mut self.channels[peer];
+        ch.state = ChanState::Failed;
+        ch.outq.clear();
+        for r in self.reqs.values_mut() {
+            if r.peer == peer && !r.done {
+                r.done = true;
+                r.failed = true;
+            }
+        }
     }
 
     /// Mark `peer` connected and drain its pre-posted send FIFO in order.
@@ -588,6 +676,17 @@ impl Device {
                 }
             }
         }
+        if let Some(s) = src {
+            if s != self.rank && self.channels[s].state == ChanState::Failed {
+                // A receive directed at an unreachable peer can never be
+                // satisfied; fail it now rather than leaving a dangling
+                // posted entry in the matcher.
+                let r = self.reqs.get_mut(&req).unwrap();
+                r.done = true;
+                r.failed = true;
+                return req;
+            }
+        }
         let entry = PostedRecv {
             req,
             context,
@@ -662,6 +761,19 @@ impl Device {
             } else {
                 panic!("static connection mode but channel to {peer} unconnected");
             }
+        }
+        if self.channels[peer].state == ChanState::Failed {
+            // Peer unreachable: fail the owning request instead of queueing
+            // (a queued message would wedge `finalize`). Only Eager/Rts can
+            // target a never-connected channel, and for those `aux1` is the
+            // local send request id.
+            if matches!(header.kind, MsgKind::Eager | MsgKind::Rts) {
+                if let Some(r) = self.reqs.get_mut(&header.aux1) {
+                    r.done = true;
+                    r.failed = true;
+                }
+            }
+            return;
         }
         if self.channels[peer].state != ChanState::Connected {
             self.stats.fifo_deferred_sends += 1;
@@ -812,8 +924,10 @@ impl Device {
         progress
     }
 
-    /// Connection progress: answer incoming peer requests (on-demand) and
-    /// promote `Connecting` channels whose VI reached `Connected`.
+    /// Connection progress: answer incoming peer requests (on-demand),
+    /// promote `Connecting` channels whose VI reached `Connected`, and —
+    /// under fault injection — retransmit connects whose deadline passed,
+    /// failing the channel once the retry budget is spent.
     fn conn_progress(&mut self) -> bool {
         let mut progress = false;
         if self.cfg.conn == ConnMode::OnDemand {
@@ -826,15 +940,83 @@ impl Device {
             }
         }
         for peer in 0..self.size {
-            if self.channels[peer].state == ChanState::Connecting {
-                let vi = self.channels[peer].vi.unwrap();
-                if self.port.vi_state(vi) == Ok(ViState::Connected) {
-                    self.finish_connect(peer);
-                    progress = true;
+            if self.channels[peer].state != ChanState::Connecting {
+                continue;
+            }
+            let vi = self.channels[peer].vi.unwrap();
+            if self.port.vi_state(vi) == Ok(ViState::Connected) {
+                // The promotion check comes first so a connection that
+                // completed just before its deadline never retries.
+                self.finish_connect(peer);
+                progress = true;
+            } else if self.retries_enabled()
+                && self.port.ctx().now() >= self.channels[peer].conn_deadline
+            {
+                if self.channels[peer].conn_attempts >= self.cfg.conn_retry_max {
+                    self.fail_channel(peer);
+                } else {
+                    let attempt = self.channels[peer].conn_attempts + 1;
+                    self.channels[peer].conn_attempts = attempt;
+                    match self.port.retry_connect(vi) {
+                        Ok(true) => {
+                            self.stats.conn_retries += 1;
+                            self.trace(crate::trace::TraceKind::ConnRetry { peer, attempt });
+                        }
+                        // Already connected (or no longer retryable): the
+                        // next pass promotes the channel.
+                        Ok(false) => {}
+                        Err(e) => panic!("retry connect to rank {peer}: {e}"),
+                    }
+                    // Exponential backoff: double the timeout per attempt.
+                    let backoff = SimDuration::micros(self.cfg.conn_retry_timeout_us)
+                        .saturating_mul(1u64 << attempt.min(20));
+                    self.channels[peer].conn_deadline = self.port.ctx().now() + backoff;
                 }
+                progress = true;
             }
         }
         progress
+    }
+
+    /// Earliest pending connection-retry deadline, if any (armed only
+    /// under fault injection).
+    fn earliest_conn_deadline(&self) -> Option<SimTime> {
+        if !self.retries_enabled() {
+            return None;
+        }
+        self.channels
+            .iter()
+            .filter(|c| c.state == ChanState::Connecting)
+            .map(|c| c.conn_deadline)
+            .min()
+    }
+
+    /// Block for NIC activity, but — when a connection retry is pending —
+    /// also schedule a timer at its deadline so a rank whose connect
+    /// packets were all dropped still wakes up to retransmit.
+    fn conn_idle_wait(&mut self, stamp: u64) {
+        match self.earliest_conn_deadline() {
+            Some(deadline) => {
+                let now = self.port.ctx().now();
+                let covered = self
+                    .armed_conn_timer
+                    .is_some_and(|t| t > now && t <= deadline);
+                if !covered {
+                    let delay = if deadline > now {
+                        deadline.since(now)
+                    } else {
+                        SimDuration::ZERO
+                    };
+                    self.port.schedule_timer(delay);
+                    self.armed_conn_timer = Some(now + delay);
+                }
+                let t = self.port.timer_stamp();
+                self.port.wait_activity_or_timer(stamp, t);
+            }
+            None => {
+                self.port.wait_activity(stamp);
+            }
+        }
     }
 
     /// Send explicit `Credit` messages for channels whose owed count crossed
@@ -1051,13 +1233,13 @@ impl Device {
         let profile = self.port.profile().clone();
         match self.cfg.wait {
             WaitPolicy::Polling => {
-                self.port.wait_activity(stamp);
+                self.conn_idle_wait(stamp);
                 self.port.charge(profile.cq_poll);
             }
             WaitPolicy::SpinWait { spincount } => {
                 if profile.wait_is_polling {
                     // Berkeley VIA: wait is an infinite poll loop.
-                    self.port.wait_activity(stamp);
+                    self.conn_idle_wait(stamp);
                     self.port.charge(profile.cq_poll);
                     return;
                 }
@@ -1082,7 +1264,7 @@ impl Device {
                 // Spin exhausted: fall into the kernel wait and pay the
                 // interrupt wake-up on resume — the spinwait penalty the
                 // paper measures on cLAN (§5.4).
-                self.port.wait_activity(stamp);
+                self.conn_idle_wait(stamp);
                 self.port.charge(profile.wakeup);
             }
         }
@@ -1116,6 +1298,7 @@ impl Device {
             id,
             ReqState {
                 done: false,
+                failed: false,
                 status: Status::empty(),
                 data: None,
                 rndv_mem: None,
@@ -1131,16 +1314,92 @@ impl Device {
         self.reqs.get(&req).map(|r| r.done).unwrap_or(true)
     }
 
+    /// Did the request complete with an error (peer unreachable)?
+    pub fn req_failed(&self, req: u64) -> bool {
+        self.reqs.get(&req).map(|r| r.failed).unwrap_or(false)
+    }
+
     /// Consume a completed request, returning its payload (receives) and
-    /// status. Panics if not complete.
+    /// status. Panics if not complete or if it failed (use
+    /// [`Device::take_req_checked`] to handle connection failures).
     pub fn take_req(&mut self, req: u64) -> (Option<Vec<u8>>, Status) {
         let r = self.reqs.remove(&req).expect("unknown request");
         assert!(r.done, "take_req on incomplete request");
+        assert!(
+            !r.failed,
+            "request to rank {} failed: connection retry budget exhausted \
+             (use wait_checked to handle this error)",
+            r.peer
+        );
         (r.data, r.status)
+    }
+
+    /// Consume a completed request, surfacing a connection failure as an
+    /// error instead of panicking.
+    pub fn take_req_checked(
+        &mut self,
+        req: u64,
+    ) -> Result<(Option<Vec<u8>>, Status), crate::request::MpiError> {
+        let r = self.reqs.remove(&req).expect("unknown request");
+        assert!(r.done, "take_req_checked on incomplete request");
+        if r.failed {
+            return Err(crate::request::MpiError::PeerUnreachable { peer: r.peer });
+        }
+        Ok((r.data, r.status))
     }
 
     /// Number of live (incomplete or uncollected) requests.
     pub fn live_requests(&self) -> usize {
         self.reqs.len()
     }
+
+    /// Externally visible state of every remote channel, for invariant
+    /// checking by the simcheck harness.
+    pub fn channel_snapshots(&self) -> Vec<ChannelSnapshot> {
+        (0..self.size)
+            .filter(|&p| p != self.rank)
+            .map(|p| {
+                let ch = &self.channels[p];
+                ChannelSnapshot {
+                    peer: p,
+                    state: ch.state,
+                    credits: ch.credits,
+                    credits_owed: ch.credits_owed,
+                    bufs: ch.bufs,
+                    pending: ch.outq.len(),
+                    inflight: ch.inflight.len(),
+                    vi_connected: ch
+                        .vi
+                        .map(|v| self.port.vi_state(v) == Ok(ViState::Connected))
+                        .unwrap_or(false),
+                    connected_vis_to_peer: self.port.connected_vis_to(p),
+                }
+            })
+            .collect()
+    }
+}
+
+/// Point-in-time view of one per-peer channel, captured at the end of a
+/// rank's body for invariant checking (see `viampi-bench`'s simcheck).
+#[derive(Debug, Clone)]
+pub struct ChannelSnapshot {
+    /// Peer rank.
+    pub peer: usize,
+    /// Channel FSM state.
+    pub state: ChanState,
+    /// Eager send credits held toward the peer.
+    pub credits: usize,
+    /// Credits consumed from the peer but not yet returned.
+    pub credits_owed: usize,
+    /// Receive buffers posted for the peer (the credit window it sees).
+    pub bufs: usize,
+    /// Length of the pre-posted/stalled send FIFO.
+    pub pending: usize,
+    /// In-flight send descriptors.
+    pub inflight: usize,
+    /// Whether the channel's VI is in the `Connected` VIA state.
+    pub vi_connected: bool,
+    /// Connected VIs on this NIC whose remote end is `peer` (must be ≤ 1:
+    /// the simultaneous-connect race must never yield duplicate VIs).
+    pub connected_vis_to_peer: usize,
 }

@@ -54,8 +54,9 @@ pub mod universe;
 pub use comm::Comm;
 pub use config::{ConnMode, Device, MpiConfig, WaitPolicy};
 pub use datatype::{from_bytes, reduce_into, to_bytes, ReduceOp, Scalar};
-pub use device::{ChanState, MpiStats};
+pub use device::{ChanState, ChannelSnapshot, MpiStats};
 pub use mpi::{Mpi, ANY_SOURCE, ANY_TAG};
-pub use request::{Request, SendMode, Status};
+pub use request::{MpiError, Request, SendMode, Status};
 pub use trace::{render_timeline, TraceEvent, TraceKind};
 pub use universe::{RankReport, RunReport, Universe};
+pub use viampi_via::{FaultProfile, FaultStats};

@@ -8,7 +8,7 @@
 
 use crate::config::MpiConfig;
 use crate::device::{Device, MpiStats};
-use crate::request::{Request, SendMode, Status};
+use crate::request::{MpiError, Request, SendMode, Status};
 use std::cell::RefCell;
 use viampi_sim::{SimDuration, SimTime};
 use viampi_via::NicStats;
@@ -157,6 +157,16 @@ impl Mpi {
         dev.take_req(req.0)
     }
 
+    /// `MPI_Wait` with error reporting: like [`Mpi::wait`], but a request
+    /// bound to an unreachable peer (connection retry budget exhausted
+    /// under fault injection) returns `Err` instead of panicking.
+    pub fn wait_checked(&self, req: Request) -> Result<(Option<Vec<u8>>, Status), MpiError> {
+        self.charge_call();
+        let mut dev = self.dev.borrow_mut();
+        dev.wait_until(|d| d.req_done(req.0));
+        dev.take_req_checked(req.0)
+    }
+
     /// `MPI_Test`: non-blocking completion check (drives progress once).
     pub fn test(&self, req: Request) -> bool {
         self.charge_call();
@@ -297,6 +307,18 @@ impl Mpi {
             .vi_usage()
             .iter()
             .filter(|(_, s, r)| s + r > 0)
+            .count()
+    }
+
+    /// Channels currently mid-handshake. Harnesses (simcheck) poll this to
+    /// quiesce a rank before `MPI_Finalize`, so retransmissions triggered by
+    /// injected faults can complete while the rank still drives progress.
+    pub fn pending_connections(&self) -> usize {
+        self.dev
+            .borrow()
+            .channels
+            .iter()
+            .filter(|c| c.state == crate::device::ChanState::Connecting)
             .count()
     }
 

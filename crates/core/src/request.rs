@@ -1,9 +1,41 @@
 //! MPI request handles and completion status.
 
+use std::fmt;
+
 /// Handle to a nonblocking operation. Obtained from `isend`/`irecv`-style
 /// calls and redeemed with `wait`/`test`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Request(pub(crate) u64);
+
+/// MPI-level errors surfaced by the checked completion calls.
+///
+/// Only produced under fault injection: a fault-free fabric never fails a
+/// connection, and sub-budget packet loss is recovered transparently by the
+/// retry machinery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MpiError {
+    /// The connection to `peer` could not be established within the retry
+    /// budget; every request bound to that peer completes with this error.
+    PeerUnreachable {
+        /// The unreachable rank.
+        peer: usize,
+    },
+}
+
+impl fmt::Display for MpiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpiError::PeerUnreachable { peer } => {
+                write!(
+                    f,
+                    "rank {peer} unreachable (connection retry budget exhausted)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for MpiError {}
 
 /// Completion information of a receive (or probe).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,6 +83,12 @@ mod tests {
         let s = Status::empty();
         assert_eq!(s.source, usize::MAX);
         assert_eq!(s.len, 0);
+    }
+
+    #[test]
+    fn errors_display_without_panicking() {
+        let e = MpiError::PeerUnreachable { peer: 3 };
+        assert!(e.to_string().contains("rank 3"));
     }
 
     #[test]

@@ -60,6 +60,22 @@ pub enum TraceKind {
         /// Peer rank.
         peer: usize,
     },
+    /// A connection retry fired (fault injection): either a peer-request
+    /// retransmission or a VI-creation retry after a transient failure.
+    ConnRetry {
+        /// Peer rank.
+        peer: usize,
+        /// Attempt number (1-based).
+        attempt: u32,
+    },
+    /// The connection retry budget was exhausted; the channel was failed
+    /// and its pending requests errored out.
+    ConnFailed {
+        /// Peer rank.
+        peer: usize,
+        /// Retransmissions issued before giving up.
+        attempts: u32,
+    },
     /// Dynamic flow control grew a buffer pool.
     PoolGrown {
         /// Peer rank.
@@ -86,6 +102,12 @@ pub fn render_timeline(rank: usize, events: &[TraceEvent]) -> String {
             }
             TraceKind::Delivered { src, bytes } => format!("deliver <- {src} ({bytes} B)"),
             TraceKind::CreditStall { peer } => format!("stall (credits) -> {peer}"),
+            TraceKind::ConnRetry { peer, attempt } => {
+                format!("connect -> {peer} retry #{attempt}")
+            }
+            TraceKind::ConnFailed { peer, attempts } => {
+                format!("connect -> {peer} FAILED after {attempts} retries")
+            }
             TraceKind::PoolGrown { peer, bufs } => {
                 format!("window -> {peer} grown to {bufs}")
             }
@@ -136,6 +158,20 @@ mod tests {
                 kind: TraceKind::CreditStall { peer: 3 },
             },
             TraceEvent {
+                t: SimTime(6_500),
+                kind: TraceKind::ConnRetry {
+                    peer: 3,
+                    attempt: 2,
+                },
+            },
+            TraceEvent {
+                t: SimTime(6_800),
+                kind: TraceKind::ConnFailed {
+                    peer: 3,
+                    attempts: 10,
+                },
+            },
+            TraceEvent {
                 t: SimTime(7_000),
                 kind: TraceKind::PoolGrown { peer: 3, bufs: 8 },
             },
@@ -144,6 +180,8 @@ mod tests {
         assert!(s.contains("established (drained 5"));
         assert!(s.contains("rendezvous -> 3 (70000 B)"));
         assert!(s.contains("grown to 8"));
-        assert_eq!(s.lines().count(), 8);
+        assert!(s.contains("retry #2"));
+        assert!(s.contains("FAILED after 10 retries"));
+        assert_eq!(s.lines().count(), 10);
     }
 }

@@ -3,13 +3,13 @@
 //! the raw material for every experiment in the paper.
 
 use crate::config::{ConnMode, Device, MpiConfig, WaitPolicy};
-use crate::device::{Device as AdiDevice, MpiStats};
+use crate::device::{ChannelSnapshot, Device as AdiDevice, MpiStats};
 use crate::mpi::Mpi;
 use std::sync::Arc;
 use viampi_sim::sync::Mutex;
-use viampi_sim::{SimDuration, SimError, SimTime};
+use viampi_sim::{Engine, SimDuration, SimError, SimTime};
 
-use viampi_via::{fabric_engine, NicStats, ViaPort};
+use viampi_via::{Fabric, FaultStats, NicStats, ViaPort};
 
 /// Per-rank resource/usage report.
 #[derive(Debug, Clone)]
@@ -28,6 +28,9 @@ pub struct RankReport {
     pub vis_live: usize,
     /// VIs that carried at least one message (Table 2 utilization).
     pub vis_used: usize,
+    /// Per-peer channel state captured after `MPI_Finalize` (the raw
+    /// material for simcheck's invariant checks).
+    pub channels: Vec<ChannelSnapshot>,
 }
 
 /// Outcome of a completed run.
@@ -44,6 +47,8 @@ pub struct RunReport<R> {
     /// Scheduler round trips skipped by the engine's self-resume fast
     /// path (wall-clock statistic; never affects virtual-time results).
     pub fast_resumes: u64,
+    /// Faults the fabric injected (all-zero without a fault profile).
+    pub fault_stats: FaultStats,
     /// Configuration used.
     pub config: MpiConfig,
 }
@@ -125,7 +130,12 @@ impl Universe {
     {
         let np = self.np;
         let cfg = self.cfg.clone().normalized();
-        let mut engine = fabric_engine(cfg.device.profile(), np);
+        let mut fabric = Fabric::new(cfg.device.profile(), np);
+        if let Some(fp) = cfg.faults.clone() {
+            fabric.set_faults(fp);
+        }
+        let mut engine = Engine::new(fabric);
+        engine.set_sched_seed(cfg.sched_seed);
         let body = Arc::new(body);
         type Slot<R> = Option<(R, RankReport)>;
         let slots: Arc<Mutex<Vec<Slot<R>>>> = Arc::new(Mutex::new((0..np).map(|_| None).collect()));
@@ -141,7 +151,7 @@ impl Universe {
                 let init_time = dev.stats.init_time;
                 let mpi = Mpi::new(dev);
                 let result = body(&mpi);
-                {
+                let channels = {
                     let mut dev = mpi.device().borrow_mut();
                     assert_eq!(
                         dev.live_requests(),
@@ -149,7 +159,8 @@ impl Universe {
                         "rank {rank} finalized with incomplete requests"
                     );
                     dev.finalize();
-                }
+                    dev.channel_snapshots()
+                };
                 let report = RankReport {
                     rank,
                     init_time,
@@ -158,12 +169,13 @@ impl Universe {
                     nic: mpi.nic_stats(),
                     vis_live: mpi.live_vis(),
                     vis_used: mpi.used_vis(),
+                    channels,
                 };
                 slots.lock()[rank] = Some((result, report));
             });
         }
 
-        let (_fabric, outcome) = engine.run()?;
+        let (fabric, outcome) = engine.run()?;
         let mut results = Vec::with_capacity(np);
         let mut ranks = Vec::with_capacity(np);
         let mut slots = Arc::try_unwrap(slots)
@@ -181,6 +193,7 @@ impl Universe {
             end_time: outcome.end_time,
             events: outcome.events_processed,
             fast_resumes: outcome.fast_resumes,
+            fault_stats: fabric.fault_stats(),
             config: self.cfg,
         })
     }

@@ -31,6 +31,7 @@
 
 use crate::error::{BlockedProc, SimError};
 use crate::queue::EventQueue;
+use crate::rng::SplitMix64;
 use crate::sync::{Condvar, Mutex, MutexGuard};
 use crate::time::{SimDuration, SimTime};
 use std::panic::{self, AssertUnwindSafe};
@@ -124,6 +125,28 @@ struct ReadyHeap {
     heap: Vec<(SimTime, u64, ProcId)>,
 }
 
+/// Second component of the ready-heap key for a process at `clock`.
+///
+/// Without a schedule seed this is `last_run`, so equal-clock processes
+/// round-robin least-recently-run-first. With a seed it is a *stateless*
+/// hash of `(seed, pid, clock)`: equal-clock ties then resolve in a
+/// seed-dependent order, which is what the `simcheck` harness uses to
+/// explore different interleavings. The hash must be stateless (not a
+/// shared RNG stream) so the self-resume fast path — which skips Ready
+/// transitions entirely — computes the identical key and the schedule
+/// stays bit-identical with the fast path on or off.
+#[inline]
+fn sched_key(sched_seed: Option<u64>, last_run: u64, pid: ProcId, clock: SimTime) -> u64 {
+    match sched_seed {
+        None => last_run,
+        Some(seed) => SplitMix64::new(
+            seed ^ (pid as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ clock.0.wrapping_mul(0xD1B5_4A32_D192_ED03),
+        )
+        .next_u64(),
+    }
+}
+
 impl ReadyHeap {
     fn with_capacity(cap: usize) -> Self {
         ReadyHeap {
@@ -197,6 +220,8 @@ struct Inner<W: World> {
     /// Reusable wake buffer so `with_world`/`block_on`/event dispatch do not
     /// allocate a fresh `Vec` per call.
     wake_scratch: Vec<ProcId>,
+    /// Schedule-exploration seed (see [`sched_key`]). Immutable after init.
+    sched_seed: Option<u64>,
 }
 
 impl<W: World> Inner<W> {
@@ -216,8 +241,9 @@ impl<W: World> Inner<W> {
                 return false;
             }
         }
+        let key = sched_key(self.sched_seed, self.procs[pid].last_run, pid, clock);
         match self.ready.peek() {
-            Some(head) => (clock, self.procs[pid].last_run, pid) < head,
+            Some(head) => (clock, key, pid) < head,
             None => true,
         }
     }
@@ -354,9 +380,9 @@ impl<W: World> ProcCtx<W> {
                 g.grant_self(self.pid);
                 return;
             }
-            let last_run = g.procs[self.pid].last_run;
+            let key = sched_key(g.sched_seed, g.procs[self.pid].last_run, self.pid, clock);
             g.procs[self.pid].state = ProcState::Ready;
-            g.ready.push(clock, last_run, self.pid);
+            g.ready.push(clock, key, self.pid);
             g.running = None;
         }
         self.shared.engine_cv.notify_one();
@@ -364,9 +390,11 @@ impl<W: World> ProcCtx<W> {
     }
 
     /// Yield the token without advancing time. Equal-clock processes are
-    /// scheduled least-recently-run-first, so this round-robins fairly.
-    /// When this process is the only runnable entity (no equal-or-earlier
-    /// Ready process, no due event), the fast path returns immediately.
+    /// scheduled least-recently-run-first, so this round-robins fairly
+    /// (unless a schedule-exploration seed is set, in which case ties
+    /// resolve in a seed-dependent order). When this process is the only
+    /// runnable entity (no equal-or-earlier Ready process, no due event),
+    /// the fast path returns immediately.
     pub fn yield_now(&self) {
         {
             let mut g = self.shared.inner.lock();
@@ -375,9 +403,9 @@ impl<W: World> ProcCtx<W> {
                 g.grant_self(self.pid);
                 return;
             }
-            let last_run = g.procs[self.pid].last_run;
+            let key = sched_key(g.sched_seed, g.procs[self.pid].last_run, self.pid, clock);
             g.procs[self.pid].state = ProcState::Ready;
-            g.ready.push(clock, last_run, self.pid);
+            g.ready.push(clock, key, self.pid);
             g.running = None;
         }
         self.shared.engine_cv.notify_one();
@@ -459,7 +487,8 @@ fn apply_wakes<W: World>(
             slot.state = ProcState::Ready;
             slot.clock = slot.clock.max(now);
             clocks[pid].store(slot.clock.0, Ordering::Release);
-            inner.ready.push(slot.clock, slot.last_run, pid);
+            let key = sched_key(inner.sched_seed, slot.last_run, pid, slot.clock);
+            inner.ready.push(slot.clock, key, pid);
         }
     }
 }
@@ -513,6 +542,7 @@ type ProcBody<W> = Box<dyn FnOnce(ProcCtx<W>) + Send + 'static>;
 pub struct Engine<W: World> {
     world: Option<W>,
     bodies: Vec<(String, ProcBody<W>)>,
+    sched_seed: Option<u64>,
 }
 
 impl<W: World> Engine<W> {
@@ -521,7 +551,19 @@ impl<W: World> Engine<W> {
         Engine {
             world: Some(world),
             bodies: Vec::new(),
+            sched_seed: None,
         }
+    }
+
+    /// Install a schedule-exploration seed. When set, equal-clock scheduling
+    /// ties are broken by a deterministic hash of `(seed, pid, clock)`
+    /// instead of least-recently-run order: each seed yields one fixed,
+    /// replayable interleaving, and different seeds explore different
+    /// interleavings. `None` (the default) keeps the exact round-robin
+    /// behaviour. Results remain bit-identical with the self-resume fast
+    /// path on or off for any fixed seed.
+    pub fn set_sched_seed(&mut self, seed: Option<u64>) {
+        self.sched_seed = seed;
     }
 
     /// Register a simulated process. Returns its [`ProcId`] (spawn index).
@@ -542,7 +584,11 @@ impl<W: World> Engine<W> {
         let n = self.bodies.len();
         let mut ready = ReadyHeap::with_capacity(n);
         for pid in 0..n {
-            ready.push(SimTime::ZERO, 0, pid);
+            ready.push(
+                SimTime::ZERO,
+                sched_key(self.sched_seed, 0, pid, SimTime::ZERO),
+                pid,
+            );
         }
         let shared = Arc::new(Shared {
             inner: Mutex::new(Inner {
@@ -565,6 +611,7 @@ impl<W: World> Engine<W> {
                 events_processed: 0,
                 fast_resumes: 0,
                 wake_scratch: Vec::with_capacity(8),
+                sched_seed: self.sched_seed,
             }),
             engine_cv: Condvar::new(),
             gates: (0..n).map(|_| Arc::new(Gate::new())).collect(),
@@ -1116,6 +1163,53 @@ mod tests {
         let mut sorted = times.clone();
         sorted.sort_unstable();
         assert_eq!(times, sorted, "time order preserved under fast path");
+    }
+
+    // ------------------------------------------------------------------
+    // Schedule-exploration seed
+    // ------------------------------------------------------------------
+
+    /// Equal-clock tie workload: 3 processes advancing in lockstep, each
+    /// logging its pid at every step. Unseeded this round-robins; seeded,
+    /// the per-step order depends on the seed.
+    fn tie_log(seed: Option<u64>) -> Vec<String> {
+        let mut eng = Engine::new(MailWorld::new(3));
+        eng.set_sched_seed(seed);
+        for pid in 0..3usize {
+            eng.spawn(format!("p{pid}"), move |ctx| {
+                for _ in 0..6 {
+                    ctx.advance(SimDuration::nanos(10));
+                    ctx.with_world(move |w, _| w.log.push(format!("p{pid}")));
+                }
+            });
+        }
+        let (w, _) = eng.run().unwrap();
+        w.log
+    }
+
+    #[test]
+    fn sched_seed_is_replayable() {
+        assert_eq!(tie_log(Some(42)), tie_log(Some(42)));
+        assert_eq!(tie_log(Some(7)), tie_log(Some(7)));
+    }
+
+    #[test]
+    fn sched_seeds_explore_distinct_interleavings() {
+        let orders: std::collections::HashSet<Vec<String>> =
+            (0..8u64).map(|s| tie_log(Some(s))).collect();
+        assert!(
+            orders.len() > 1,
+            "different seeds should produce different equal-clock orders"
+        );
+    }
+
+    #[test]
+    fn no_sched_seed_keeps_round_robin() {
+        let expected: Vec<String> = (0..6)
+            .flat_map(|_| ["p0", "p1", "p2"])
+            .map(str::to_string)
+            .collect();
+        assert_eq!(tie_log(None), expected);
     }
 
     #[test]

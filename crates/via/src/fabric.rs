@@ -13,6 +13,7 @@
 //!   `connect_peer` calls, exactly one match is made (the second request to
 //!   arrive finds its initiator already matched and is dropped as stale).
 
+use crate::fault::{FaultInjector, FaultProfile, FaultStats};
 use crate::nic::{Nic, RecvDesc};
 use crate::profile::DeviceProfile;
 use crate::types::{
@@ -59,7 +60,10 @@ pub struct Packet {
 }
 
 /// Deferred fabric activity.
-#[derive(Debug)]
+///
+/// `Clone` exists so the fault injector can duplicate connection packets;
+/// the engine itself never clones events.
+#[derive(Debug, Clone)]
 pub enum FabricEvent {
     /// Sender-side NIC finished serializing a descriptor.
     TxDone {
@@ -137,6 +141,10 @@ pub struct Fabric {
     pub nics: Vec<Nic>,
     /// Latency of the out-of-band bootstrap channel (process manager TCP).
     pub oob_latency: SimDuration,
+    /// Optional fault injector for connection packets and VI creation
+    /// (see [`crate::fault`]). `None` (the default) means a perfectly
+    /// reliable connection path — the behaviour of every experiment run.
+    faults: Option<FaultInjector>,
 }
 
 impl Fabric {
@@ -146,12 +154,55 @@ impl Fabric {
             profile,
             nics: (0..nodes).map(Nic::new).collect(),
             oob_latency: SimDuration::micros(120),
+            faults: None,
         }
+    }
+
+    /// Install a fault-injection profile (replaces any previous one and
+    /// resets its stats). Call before the simulation starts.
+    pub fn set_faults(&mut self, profile: FaultProfile) {
+        self.faults = Some(FaultInjector::new(profile));
+    }
+
+    /// Counters of the faults injected so far (all zero when no profile is
+    /// installed).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults.as_ref().map(|f| f.stats()).unwrap_or_default()
     }
 
     /// Number of nodes.
     pub fn nodes(&self) -> usize {
         self.nics.len()
+    }
+
+    /// Schedule a connection packet, routing it through the fault injector
+    /// when one is installed: the packet may be dropped (scheduled zero
+    /// times), delayed, reordered, or duplicated.
+    fn schedule_conn(
+        &mut self,
+        api: &mut Api<'_, FabricEvent>,
+        base: SimDuration,
+        ev: FabricEvent,
+    ) {
+        match &mut self.faults {
+            None => api.schedule(base, ev),
+            Some(inj) => {
+                for d in inj.conn_packet(base) {
+                    api.schedule(d, ev.clone());
+                }
+            }
+        }
+    }
+
+    /// Create a VI on `node`, subject to the per-NIC limit and (when fault
+    /// injection is active) transient creation failures.
+    pub fn create_vi(&mut self, node: NodeId) -> Result<ViId, ViaError> {
+        if let Some(inj) = &mut self.faults {
+            if inj.vi_create_fails(node) {
+                return Err(ViaError::TransientFailure);
+            }
+        }
+        self.nics[node].create_vi(self.profile.max_vis)
     }
 
     /// Post a send descriptor on `vi`. Reads `len` bytes at `(mem, off)`.
@@ -338,7 +389,8 @@ impl Fabric {
             self.match_peer(api, remote, node, disc, SimDuration::ZERO);
             return Ok(());
         }
-        api.schedule(
+        self.schedule_conn(
+            api,
             self.profile.conn_wire,
             FabricEvent::PeerReqArrive {
                 dst: remote,
@@ -347,6 +399,87 @@ impl Fabric {
             },
         );
         Ok(())
+    }
+
+    /// Re-issue the in-flight connection step for `(node, vi)` after a
+    /// retry timeout. For a `Connecting` VI the peer-to-peer request packet
+    /// is retransmitted (first re-checking the local pending-request list —
+    /// the peer's own request may have arrived in the meantime); for an
+    /// `Establishing` VI, the endpoint's lost `Established` notification is
+    /// regenerated from the far NIC's tables. Returns `Ok(false)` when the
+    /// VI no longer needs a retry (already connected, or the handshake
+    /// partner vanished). Retransmissions run back through the fault
+    /// injector, so a retry can itself be dropped — that is what the
+    /// caller's backoff budget is for.
+    pub fn retry_connect(
+        &mut self,
+        api: &mut Api<'_, FabricEvent>,
+        node: NodeId,
+        vi: ViId,
+    ) -> Result<bool, ViaError> {
+        let (state, remote, disc) = {
+            let v = self.nics[node].vi(vi)?;
+            (v.state, v.remote, v.disc)
+        };
+        let (Some(remote), Some(disc)) = (remote, disc) else {
+            return Err(ViaError::NotConnected);
+        };
+        match state {
+            ViState::Connected => Ok(false),
+            ViState::Connecting => {
+                self.nics[node].stats.conn_retries += 1;
+                let pending = self.nics[node]
+                    .incoming_peer
+                    .iter()
+                    .position(|r| r.from == remote && r.disc == disc);
+                if let Some(idx) = pending {
+                    self.nics[node].incoming_peer.remove(idx);
+                    self.match_peer(api, remote, node, disc, SimDuration::ZERO);
+                } else {
+                    self.schedule_conn(
+                        api,
+                        self.profile.conn_wire,
+                        FabricEvent::PeerReqArrive {
+                            dst: remote,
+                            from: node,
+                            disc,
+                        },
+                    );
+                }
+                Ok(true)
+            }
+            ViState::Establishing => {
+                // Our own Established notification was lost. The match was
+                // already made, so the peer endpoint is recoverable from the
+                // far NIC's tables (the connection manager's global view).
+                let peer_vi = self.nics[remote]
+                    .vis
+                    .iter()
+                    .enumerate()
+                    .find(|(_, v)| {
+                        !v.destroyed
+                            && matches!(v.state, ViState::Establishing | ViState::Connected)
+                            && v.remote == Some(node)
+                            && v.disc == Some(disc)
+                    })
+                    .map(|(i, _)| ViId(i as u32));
+                let Some(peer_vi) = peer_vi else {
+                    return Ok(false);
+                };
+                self.nics[node].stats.conn_retries += 1;
+                self.schedule_conn(
+                    api,
+                    self.profile.conn_establish,
+                    FabricEvent::Established {
+                        node,
+                        vi,
+                        peer: (remote, peer_vi),
+                    },
+                );
+                Ok(true)
+            }
+            _ => Err(ViaError::NotConnected),
+        }
     }
 
     /// Find the unmatched Connecting VI on `node` targeting `(remote, disc)`.
@@ -390,7 +523,8 @@ impl Fabric {
         let est = self.profile.conn_establish + extra;
         // The discovery side connects after the local handshake; the far
         // side additionally waits for the response to travel back.
-        api.schedule(
+        self.schedule_conn(
+            api,
             est,
             FabricEvent::Established {
                 node: b,
@@ -398,7 +532,8 @@ impl Fabric {
                 peer: (a, vi_a),
             },
         );
-        api.schedule(
+        self.schedule_conn(
+            api,
             est + self.profile.conn_wire,
             FabricEvent::Established {
                 node: a,
@@ -640,10 +775,15 @@ impl World for Fabric {
             FabricEvent::Established { node, vi, peer } => {
                 let nic = &mut self.nics[node];
                 if let Ok(v) = nic.vi_mut(vi) {
-                    v.state = ViState::Connected;
-                    v.peer = Some(peer);
-                    nic.stats.conns_established += 1;
-                    nic.bump_activity(&mut wake);
+                    // Idempotent: a duplicated or retransmitted notification
+                    // for an already-connected endpoint is dropped, so the
+                    // establishment is counted exactly once.
+                    if v.state != ViState::Connected {
+                        v.state = ViState::Connected;
+                        v.peer = Some(peer);
+                        nic.stats.conns_established += 1;
+                        nic.bump_activity(&mut wake);
+                    }
                 }
             }
             FabricEvent::CsRejected { node, vi } => {

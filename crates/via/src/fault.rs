@@ -1,0 +1,247 @@
+//! Deterministic fault injection for the connection path.
+//!
+//! The paper's on-demand protocol folds connection management into the MPI
+//! progress engine; its correctness depends on surviving lost, duplicated,
+//! delayed and reordered connection packets (real VIA/InfiniBand stacks add
+//! explicit retry for exactly this reason). This module injects those faults
+//! at the fabric's connection-packet scheduling points — and into VI
+//! creation — driven entirely by a [`SplitMix64`] stream seeded from the
+//! profile, so every observed failure is replayable from its seed.
+//!
+//! Scope: only *connection* traffic (peer-to-peer requests and establishment
+//! notifications) and VI creation are faulted. Data-transfer packets stay
+//! reliable, as on a real VIA fabric (VIA assumes a reliable delivery
+//! network; connection management is where the races and timeouts live).
+
+use crate::types::NodeId;
+use viampi_sim::{SimDuration, SplitMix64};
+
+/// Fault rates for one simulation run. All probabilities are in `[0, 1]`
+/// and are rolled independently per connection packet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultProfile {
+    /// Seed of the injector's private RNG stream.
+    pub seed: u64,
+    /// Probability a connection packet is silently dropped.
+    pub drop_prob: f64,
+    /// Probability a connection packet is duplicated (the copy gets its own
+    /// independent delay, so it may arrive before the original).
+    pub dup_prob: f64,
+    /// Probability a connection packet is delayed by up to
+    /// [`FaultProfile::delay_max_us`].
+    pub delay_prob: f64,
+    /// Probability a connection packet gets an extra-large delay (up to
+    /// 4 × `delay_max_us`), letting later packets overtake it.
+    pub reorder_prob: f64,
+    /// Maximum injected delay, in microseconds.
+    pub delay_max_us: u64,
+    /// Probability a VI creation fails transiently.
+    pub vi_fail_prob: f64,
+}
+
+impl FaultProfile {
+    /// No faults at all (useful to exercise the injector plumbing alone).
+    pub fn none(seed: u64) -> Self {
+        FaultProfile {
+            seed,
+            drop_prob: 0.0,
+            dup_prob: 0.0,
+            delay_prob: 0.0,
+            reorder_prob: 0.0,
+            delay_max_us: 0,
+            vi_fail_prob: 0.0,
+        }
+    }
+
+    /// Mild fault rates: occasional drops/duplicates, frequent small delays.
+    pub fn light(seed: u64) -> Self {
+        FaultProfile {
+            seed,
+            drop_prob: 0.02,
+            dup_prob: 0.02,
+            delay_prob: 0.20,
+            reorder_prob: 0.05,
+            delay_max_us: 300,
+            vi_fail_prob: 0.01,
+        }
+    }
+
+    /// Aggressive fault rates for stress runs.
+    pub fn heavy(seed: u64) -> Self {
+        FaultProfile {
+            seed,
+            drop_prob: 0.10,
+            dup_prob: 0.10,
+            delay_prob: 0.40,
+            reorder_prob: 0.15,
+            delay_max_us: 2000,
+            vi_fail_prob: 0.05,
+        }
+    }
+}
+
+/// Counters of faults actually injected during a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Connection packets dropped.
+    pub conn_dropped: u64,
+    /// Connection packets duplicated.
+    pub conn_duplicated: u64,
+    /// Connection packets delayed (jitter added to the base latency).
+    pub conn_delayed: u64,
+    /// Connection packets given an overtaking-scale delay.
+    pub conn_reordered: u64,
+    /// VI creations failed transiently.
+    pub vi_create_failures: u64,
+}
+
+impl FaultStats {
+    /// Total number of injected faults of any kind.
+    pub fn total(&self) -> u64 {
+        self.conn_dropped
+            + self.conn_duplicated
+            + self.conn_delayed
+            + self.conn_reordered
+            + self.vi_create_failures
+    }
+}
+
+/// The stateful injector: a profile plus its private deterministic RNG.
+#[derive(Debug)]
+pub struct FaultInjector {
+    profile: FaultProfile,
+    rng: SplitMix64,
+    stats: FaultStats,
+}
+
+impl FaultInjector {
+    /// Build an injector; the RNG stream is derived from `profile.seed`.
+    pub fn new(profile: FaultProfile) -> Self {
+        let rng = SplitMix64::new(profile.seed);
+        FaultInjector {
+            profile,
+            rng,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// The installed profile.
+    pub fn profile(&self) -> &FaultProfile {
+        &self.profile
+    }
+
+    /// Counters of faults injected so far.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// Decide the fate of one connection packet whose fault-free latency is
+    /// `base`. Returns the delivery delays to schedule: empty means the
+    /// packet was dropped; more than one entry means it was duplicated.
+    pub fn conn_packet(&mut self, base: SimDuration) -> Vec<SimDuration> {
+        if self.rng.next_f64() < self.profile.drop_prob {
+            self.stats.conn_dropped += 1;
+            return Vec::new();
+        }
+        let mut first = base;
+        if self.rng.next_f64() < self.profile.delay_prob {
+            first += self.jitter(self.profile.delay_max_us);
+            self.stats.conn_delayed += 1;
+        }
+        if self.rng.next_f64() < self.profile.reorder_prob {
+            first += self.jitter(self.profile.delay_max_us.saturating_mul(4));
+            self.stats.conn_reordered += 1;
+        }
+        let mut out = vec![first];
+        if self.rng.next_f64() < self.profile.dup_prob {
+            // The duplicate gets its own independent jitter, so it may land
+            // before or after the original.
+            let dup = base + self.jitter(self.profile.delay_max_us);
+            self.stats.conn_duplicated += 1;
+            out.push(dup);
+        }
+        out
+    }
+
+    /// Roll whether a VI creation on `_node` fails transiently.
+    pub fn vi_create_fails(&mut self, _node: NodeId) -> bool {
+        if self.rng.next_f64() < self.profile.vi_fail_prob {
+            self.stats.vi_create_failures += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn jitter(&mut self, max_us: u64) -> SimDuration {
+        if max_us == 0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration::nanos(self.rng.next_below(max_us * 1000))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_replays_identical_decisions() {
+        let decide = || {
+            let mut inj = FaultInjector::new(FaultProfile::heavy(77));
+            let fates: Vec<Vec<SimDuration>> = (0..200)
+                .map(|_| inj.conn_packet(SimDuration::micros(12)))
+                .collect();
+            let vi: Vec<bool> = (0..50).map(|_| inj.vi_create_fails(0)).collect();
+            (fates, vi, inj.stats())
+        };
+        assert_eq!(decide(), decide());
+    }
+
+    #[test]
+    fn none_profile_injects_nothing() {
+        let mut inj = FaultInjector::new(FaultProfile::none(1));
+        for _ in 0..100 {
+            assert_eq!(
+                inj.conn_packet(SimDuration::micros(5)),
+                vec![SimDuration::micros(5)]
+            );
+            assert!(!inj.vi_create_fails(0));
+        }
+        assert_eq!(inj.stats(), FaultStats::default());
+    }
+
+    #[test]
+    fn heavy_profile_exercises_every_fault_kind() {
+        let mut inj = FaultInjector::new(FaultProfile::heavy(3));
+        for _ in 0..2000 {
+            inj.conn_packet(SimDuration::micros(12));
+            inj.vi_create_fails(0);
+        }
+        let s = inj.stats();
+        assert!(s.conn_dropped > 0);
+        assert!(s.conn_duplicated > 0);
+        assert!(s.conn_delayed > 0);
+        assert!(s.conn_reordered > 0);
+        assert!(s.vi_create_failures > 0);
+        assert_eq!(
+            s.total(),
+            s.conn_dropped
+                + s.conn_duplicated
+                + s.conn_delayed
+                + s.conn_reordered
+                + s.vi_create_failures
+        );
+    }
+
+    #[test]
+    fn delays_never_shrink_below_base() {
+        let mut inj = FaultInjector::new(FaultProfile::heavy(9));
+        let base = SimDuration::micros(12);
+        for _ in 0..500 {
+            for d in inj.conn_packet(base) {
+                assert!(d >= base, "injected jitter only ever adds latency");
+            }
+        }
+    }
+}

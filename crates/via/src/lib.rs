@@ -26,12 +26,14 @@
 #![forbid(unsafe_code)]
 
 pub mod fabric;
+pub mod fault;
 pub mod nic;
 pub mod port;
 pub mod profile;
 pub mod types;
 
 pub use fabric::{Fabric, FabricEvent, Packet, PacketBody};
+pub use fault::{FaultInjector, FaultProfile, FaultStats};
 pub use nic::{Nic, NicStats, RecvDesc, Region, Vi};
 pub use port::{fabric_engine, ViaPort};
 pub use profile::DeviceProfile;

@@ -80,6 +80,9 @@ pub struct NicStats {
     pub conns_established: u64,
     /// Outgoing connection requests issued (both models).
     pub conn_requests: u64,
+    /// Connection-step retransmissions issued after a retry timeout
+    /// (only ever non-zero under fault injection).
+    pub conn_retries: u64,
     /// Currently pinned bytes.
     pub pinned_now: usize,
     /// Peak pinned bytes.

@@ -53,12 +53,12 @@ impl ViaPort {
 
     // ---- endpoint lifecycle -------------------------------------------------
 
-    /// `VipCreateVi`: allocate a VI endpoint.
+    /// `VipCreateVi`: allocate a VI endpoint. Under fault injection this
+    /// can fail with [`ViaError::TransientFailure`]; callers retry.
     pub fn create_vi(&self) -> Result<ViId, ViaError> {
         self.ctx.advance(self.profile.conn_call / 4);
         let node = self.node;
-        self.ctx
-            .with_world(|f, _| f.nics[node].create_vi(f.profile.max_vis))
+        self.ctx.with_world(|f, _| f.create_vi(node))
     }
 
     /// `VipDestroyVi`.
@@ -265,6 +265,29 @@ impl ViaPort {
     pub fn peer_requests(&self) -> Vec<PeerRequest> {
         let node = self.node;
         self.ctx.with_world(|f, _| f.incoming_peer(node).to_vec())
+    }
+
+    /// Retransmit the in-flight connection step for `vi` after a retry
+    /// timeout (see [`Fabric::retry_connect`]). Charges one connection call.
+    pub fn retry_connect(&self, vi: ViId) -> Result<bool, ViaError> {
+        self.ctx.advance(self.profile.conn_call);
+        let node = self.node;
+        self.ctx.with_world(|f, api| f.retry_connect(api, node, vi))
+    }
+
+    /// Number of live `Connected` VIs on this NIC whose remote node is
+    /// `remote` (the `simcheck` exactly-one-VI-per-pair invariant input).
+    pub fn connected_vis_to(&self, remote: NodeId) -> usize {
+        let node = self.node;
+        self.ctx.with_world(|f, _| {
+            f.nics[node]
+                .vis
+                .iter()
+                .filter(|v| {
+                    !v.destroyed && v.state == ViState::Connected && v.remote == Some(remote)
+                })
+                .count()
+        })
     }
 
     /// `VipConnectRequest` (VIA 0.95 client/server model, client side).
@@ -817,5 +840,130 @@ mod tests {
         // 8 extra VIs × 1.4us per message × 100 one-way messages from the tx
         // side alone ⇒ at least ~1.1ms extra.
         assert!(loaded - base > 1_000_000);
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection on the connection path
+    // ------------------------------------------------------------------
+
+    use crate::fault::{FaultInjector, FaultProfile};
+
+    /// Drop-only profile used by the retry tests.
+    fn drop_profile(seed: u64, drop_prob: f64) -> FaultProfile {
+        FaultProfile {
+            drop_prob,
+            ..FaultProfile::none(seed)
+        }
+    }
+
+    /// Both initial peer requests are dropped; a single `retry_connect`
+    /// retransmission completes the handshake.
+    #[test]
+    fn dropped_peer_requests_recover_via_retry() {
+        // The run draws from the injector in a fixed order: the two
+        // create_vi rolls, n0's request, n1's request, n0's retry, then the
+        // two Established notifications. Find a seed whose two request
+        // packets drop and the next three pass, by replaying the exact draw
+        // pattern on a probe injector.
+        let wire = SimDuration::micros(12);
+        let seed = (0..10_000u64)
+            .find(|&s| {
+                let mut probe = FaultInjector::new(drop_profile(s, 0.6));
+                probe.vi_create_fails(0);
+                probe.vi_create_fails(1);
+                probe.conn_packet(wire).is_empty()
+                    && probe.conn_packet(wire).is_empty()
+                    && !probe.conn_packet(wire).is_empty()
+                    && !probe.conn_packet(wire).is_empty()
+                    && !probe.conn_packet(wire).is_empty()
+            })
+            .expect("a drop-drop-pass-pass-pass seed exists");
+        let mut fabric = Fabric::new(DeviceProfile::clan(), 2);
+        fabric.set_faults(drop_profile(seed, 0.6));
+        let mut eng = Engine::new(fabric);
+        let disc = Discriminator(5);
+        eng.spawn("n0", move |ctx| {
+            let port = ViaPort::open(ctx, 0);
+            let vi = port.create_vi().unwrap();
+            port.connect_peer(vi, 1, disc).unwrap();
+            // Give the (dropped) handshake ample time, then retransmit.
+            port.charge(SimDuration::millis(2));
+            assert_eq!(port.vi_state(vi).unwrap(), ViState::Connecting);
+            assert!(port.retry_connect(vi).unwrap(), "retry was still needed");
+            assert_eq!(port.connect_wait(vi).unwrap(), ViState::Connected);
+        });
+        eng.spawn("n1", move |ctx| {
+            let port = ViaPort::open(ctx, 1);
+            let vi = port.create_vi().unwrap();
+            port.charge(SimDuration::micros(10));
+            port.connect_peer(vi, 0, disc).unwrap();
+            assert_eq!(port.connect_wait(vi).unwrap(), ViState::Connected);
+        });
+        let (fabric, _) = eng.run().unwrap();
+        assert_eq!(fabric.fault_stats().conn_dropped, 2);
+        assert_eq!(fabric.nics[0].stats.conn_retries, 1);
+        assert_eq!(fabric.nics[0].stats.conns_established, 1);
+        assert_eq!(fabric.nics[1].stats.conns_established, 1);
+    }
+
+    /// Every connection packet duplicated: the stale-request and
+    /// idempotent-Established guards must still count exactly one
+    /// establishment per side.
+    #[test]
+    fn duplicated_packets_establish_exactly_once() {
+        let mut fabric = Fabric::new(DeviceProfile::clan(), 2);
+        fabric.set_faults(FaultProfile {
+            dup_prob: 1.0,
+            ..FaultProfile::none(11)
+        });
+        let mut eng = Engine::new(fabric);
+        let disc = Discriminator(21);
+        for node in 0..2usize {
+            eng.spawn(format!("n{node}"), move |ctx| {
+                let port = ViaPort::open(ctx, node);
+                let vi = port.create_vi().unwrap();
+                port.connect_peer(vi, 1 - node, disc).unwrap();
+                assert_eq!(port.connect_wait(vi).unwrap(), ViState::Connected);
+                // Linger so late duplicates arrive while we still exist.
+                port.charge(SimDuration::millis(5));
+            });
+        }
+        let (fabric, _) = eng.run().unwrap();
+        assert!(fabric.fault_stats().conn_duplicated > 0);
+        for n in 0..2 {
+            assert_eq!(
+                fabric.nics[n].stats.conns_established, 1,
+                "duplicates must not double-establish on node {n}"
+            );
+            assert!(fabric.nics[n].incoming_peer.is_empty());
+        }
+    }
+
+    /// A transiently failed VI creation succeeds when retried.
+    #[test]
+    fn transient_vi_creation_failure_is_retryable() {
+        let seed = (0..10_000u64)
+            .find(|&s| {
+                let mut probe = FaultInjector::new(FaultProfile {
+                    vi_fail_prob: 0.5,
+                    ..FaultProfile::none(s)
+                });
+                probe.vi_create_fails(0) && !probe.vi_create_fails(0)
+            })
+            .expect("a fail-then-pass seed exists");
+        let mut fabric = Fabric::new(DeviceProfile::clan(), 1);
+        fabric.set_faults(FaultProfile {
+            vi_fail_prob: 0.5,
+            ..FaultProfile::none(seed)
+        });
+        let mut eng = Engine::new(fabric);
+        eng.spawn("n0", move |ctx| {
+            let port = ViaPort::open(ctx, 0);
+            assert_eq!(port.create_vi().unwrap_err(), ViaError::TransientFailure);
+            port.create_vi().expect("second attempt succeeds");
+        });
+        let (fabric, _) = eng.run().unwrap();
+        assert_eq!(fabric.fault_stats().vi_create_failures, 1);
+        assert_eq!(fabric.nics[0].stats.vis_created, 1);
     }
 }

@@ -75,6 +75,9 @@ pub enum ViaError {
     RecvQueueFull,
     /// Client/server accept/reject referenced an unknown pending request.
     NoSuchRequest,
+    /// A transient resource failure (injected by the fault layer on VI
+    /// creation); the operation may succeed if retried.
+    TransientFailure,
 }
 
 impl fmt::Display for ViaError {
@@ -95,6 +98,7 @@ impl fmt::Display for ViaError {
             ViaError::NotConnected => write!(f, "VI not connected"),
             ViaError::RecvQueueFull => write!(f, "receive queue full"),
             ViaError::NoSuchRequest => write!(f, "no such pending connection request"),
+            ViaError::TransientFailure => write!(f, "transient resource failure (retry)"),
         }
     }
 }
@@ -180,6 +184,7 @@ mod tests {
             ViaError::NotConnected,
             ViaError::RecvQueueFull,
             ViaError::NoSuchRequest,
+            ViaError::TransientFailure,
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());

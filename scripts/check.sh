@@ -16,4 +16,8 @@ cargo build --release --offline
 echo "== tier-1: cargo test -q (offline, full workspace)"
 cargo test -q --offline --workspace
 
+echo "== simcheck smoke (fixed seeds, heavy faults)"
+cargo run -q --release --offline -p viampi-bench --bin simcheck -- \
+    --seeds 150 --start 0 --fault heavy
+
 echo "all checks passed"
