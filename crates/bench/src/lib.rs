@@ -26,6 +26,7 @@ pub mod experiments;
 pub mod json;
 pub mod micro;
 pub mod minibench;
+pub mod profile;
 pub mod report;
 pub mod runner;
 pub mod simcheck;

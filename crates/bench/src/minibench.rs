@@ -32,21 +32,36 @@ crate::impl_json!(BenchRecord {
 /// [`Bench::run`], then persist with [`Bench::finish`].
 pub struct Bench {
     filter: Option<String>,
+    json_out: Option<String>,
     records: Vec<BenchRecord>,
 }
 
 impl Bench {
     /// Build from the command line: the first non-flag argument is a
-    /// substring filter (cargo's `--bench` flag is ignored).
+    /// substring filter (cargo's `--bench` flag is ignored), and
+    /// `--json-out NAME` redirects [`Bench::finish`]'s record to
+    /// `results/NAME.json` (the perf gate measures into a scratch file
+    /// this way, leaving the committed record untouched).
     pub fn from_args() -> Self {
+        let argv: Vec<String> = std::env::args().skip(1).collect();
         let mut filter = None;
-        for a in std::env::args().skip(1) {
-            if !a.starts_with("--") {
-                filter = Some(a);
+        let mut json_out = None;
+        let mut i = 0;
+        while i < argv.len() {
+            let a = &argv[i];
+            if let Some(v) = a.strip_prefix("--json-out=") {
+                json_out = Some(v.to_string());
+            } else if a == "--json-out" {
+                json_out = argv.get(i + 1).cloned();
+                i += 1;
+            } else if !a.starts_with("--") {
+                filter = Some(a.clone());
             }
+            i += 1;
         }
         Bench {
             filter,
+            json_out,
             records: Vec::new(),
         }
     }
@@ -88,11 +103,13 @@ impl Bench {
         });
     }
 
-    /// Write the collected records to `results/<json_name>.json`.
+    /// Write the collected records to `results/<json_name>.json` (or to
+    /// the `--json-out` override, when one was given).
     pub fn finish(self, json_name: &str) {
-        write_json(json_name, &self.records);
+        let name = self.json_out.as_deref().unwrap_or(json_name);
+        write_json(name, &self.records);
         println!(
-            "\n{} benchmarks recorded to results/{json_name}.json",
+            "\n{} benchmarks recorded to results/{name}.json",
             self.records.len()
         );
     }

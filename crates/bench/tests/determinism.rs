@@ -144,6 +144,44 @@ fn simcheck_batch_is_identical_under_jobs_1_and_n() {
 }
 
 #[test]
+fn metrics_snapshot_is_byte_identical_across_repeats() {
+    // The cross-layer metrics snapshot is part of the run outcome, so it
+    // obeys the same contract as the virtual-time numbers: its rendered
+    // form must be byte-identical across repeat runs, and it must carry
+    // entries from every publishing layer.
+    let a = barrier_run(8).metrics.render();
+    let b = barrier_run(8).metrics.render();
+    assert_eq!(a, b, "repeat runs must render identical metrics");
+    for name in [
+        "sim.events",
+        "sim.handoffs",
+        "mpi.collectives",
+        "mpi.sends",
+        "nic.msgs_tx",
+        "nic.conns_established",
+        "fault.conn_dropped",
+    ] {
+        assert!(a.contains(name), "snapshot is missing {name}:\n{a}");
+    }
+}
+
+#[test]
+fn metrics_snapshot_is_identical_under_jobs_1_and_n() {
+    // Runs fanned out over the worker pool must produce the same metrics
+    // as the serial loop, in the same order, down to the rendered bytes.
+    let nps = vec![4usize, 8, 12, 16];
+    runner::set_jobs(1);
+    let serial: Vec<String> = runner::par_map(nps.clone(), |np| barrier_run(np).metrics.render());
+    runner::set_jobs(4);
+    let parallel: Vec<String> = runner::par_map(nps, |np| barrier_run(np).metrics.render());
+    runner::set_jobs(0);
+    assert_eq!(
+        serial, parallel,
+        "metrics must not depend on the worker count"
+    );
+}
+
+#[test]
 fn outcome_matches_with_fast_path_disabled_if_env_set() {
     // When the whole test process runs under VIAMPI_NO_FASTPATH=1 this
     // checks the engine path; otherwise it checks the fast path. Either

@@ -1,0 +1,68 @@
+//! Golden-file test for the Chrome-trace exporter.
+//!
+//! A traced run is deterministic down to the byte, so the exporter's
+//! output for a fixed configuration is pinned verbatim. A diff here means
+//! either the protocol's virtual-time behavior changed (timestamps moved)
+//! or the exporter's format changed — both are worth a deliberate review.
+//! Refresh the golden after such a review with:
+//!
+//! ```text
+//! VIAMPI_BLESS=1 cargo test -p viampi-bench --test profile_golden
+//! ```
+
+use std::path::PathBuf;
+use viampi_bench::profile::chrome_trace;
+use viampi_core::{ConnMode, Device, RunReport, Universe, WaitPolicy};
+use viampi_npb::ring;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("profile_ring_np2.json")
+}
+
+fn traced_ring() -> RunReport<f64> {
+    let mut uni = Universe::new(2, Device::Clan, ConnMode::OnDemand, WaitPolicy::Polling);
+    uni.config_mut().trace = true;
+    uni.run(|mpi| ring::run(mpi, 2, 256)).unwrap()
+}
+
+#[test]
+fn chrome_trace_matches_the_golden_file() {
+    let json = chrome_trace(&traced_ring());
+
+    // Structural sanity, independent of the pinned bytes.
+    assert!(json.starts_with("{\n  \"displayTimeUnit\": \"ns\",\n"));
+    assert!(json.ends_with("  ]\n}"));
+    assert!(
+        json.contains("\"ph\": \"X\""),
+        "traced run must carry spans"
+    );
+    assert!(
+        json.contains("\"ph\": \"i\""),
+        "traced run must carry protocol events"
+    );
+    assert!(json.contains("\"cat\": \"connection\""));
+    assert!(json.contains("{\"name\": \"sim.events\", \"value\": "));
+
+    let path = golden_path();
+    if std::env::var_os("VIAMPI_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &json).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read {} (bless with VIAMPI_BLESS=1): {e}", path.display()));
+    assert_eq!(
+        json,
+        golden,
+        "exporter output diverged from {} — review, then re-bless",
+        path.display()
+    );
+}
+
+#[test]
+fn repeat_traced_runs_export_identical_bytes() {
+    assert_eq!(chrome_trace(&traced_ring()), chrome_trace(&traced_ring()));
+}

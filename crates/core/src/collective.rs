@@ -112,7 +112,7 @@ impl<'a> Group<'a> {
     // ---- the algorithms -------------------------------------------------
 
     pub(crate) fn barrier(&self) {
-        self.mpi.count_collective();
+        let _span = self.mpi.count_collective("barrier");
         let (rank, size) = (self.me, self.size());
         if size == 1 {
             return;
@@ -140,7 +140,7 @@ impl<'a> Group<'a> {
     }
 
     pub(crate) fn bcast(&self, root: usize, data: Option<&[u8]>) -> Vec<u8> {
-        self.mpi.count_collective();
+        let _span = self.mpi.count_collective("bcast");
         let (rank, size) = (self.me, self.size());
         let mut buf: Vec<u8> = if rank == root {
             data.expect("root must supply broadcast data").to_vec()
@@ -181,7 +181,7 @@ impl<'a> Group<'a> {
         data: &[T],
         op: ReduceOp,
     ) -> Option<Vec<T>> {
-        self.mpi.count_collective();
+        let _span = self.mpi.count_collective("reduce");
         let (rank, size) = (self.me, self.size());
         let mut acc = data.to_vec();
         if size == 1 {
@@ -211,7 +211,7 @@ impl<'a> Group<'a> {
     }
 
     pub(crate) fn allreduce<T: Scalar>(&self, data: &[T], op: ReduceOp) -> Vec<T> {
-        self.mpi.count_collective();
+        let _span = self.mpi.count_collective("allreduce");
         let (rank, size) = (self.me, self.size());
         let mut acc = data.to_vec();
         if size == 1 {
@@ -247,7 +247,7 @@ impl<'a> Group<'a> {
     }
 
     pub(crate) fn allgather(&self, data: &[u8]) -> Vec<Vec<u8>> {
-        self.mpi.count_collective();
+        let _span = self.mpi.count_collective("allgather");
         let (rank, size) = (self.me, self.size());
         let mut blocks: Vec<Option<Vec<u8>>> = vec![None; size];
         blocks[rank] = Some(data.to_vec());
@@ -285,7 +285,7 @@ impl<'a> Group<'a> {
     }
 
     pub(crate) fn alltoall(&self, send: &[Vec<u8>]) -> Vec<Vec<u8>> {
-        self.mpi.count_collective();
+        let _span = self.mpi.count_collective("alltoall");
         let (rank, size) = (self.me, self.size());
         assert_eq!(send.len(), size, "one block per destination");
         let mut out: Vec<Vec<u8>> = vec![Vec::new(); size];
@@ -307,7 +307,7 @@ impl<'a> Group<'a> {
     }
 
     pub(crate) fn gather(&self, root: usize, data: &[u8]) -> Option<Vec<Vec<u8>>> {
-        self.mpi.count_collective();
+        let _span = self.mpi.count_collective("gather");
         let (rank, size) = (self.me, self.size());
         if rank == root {
             let mut blocks: Vec<Vec<u8>> = vec![Vec::new(); size];
@@ -324,7 +324,7 @@ impl<'a> Group<'a> {
     }
 
     pub(crate) fn scatter(&self, root: usize, blocks: Option<&[Vec<u8>]>) -> Vec<u8> {
-        self.mpi.count_collective();
+        let _span = self.mpi.count_collective("scatter");
         let (rank, size) = (self.me, self.size());
         if rank == root {
             let blocks = blocks.expect("root must supply scatter blocks");

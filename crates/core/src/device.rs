@@ -21,9 +21,39 @@ use crate::config::{ConnMode, MpiConfig, WaitPolicy};
 use crate::matching::{MatchEngine, PostedRecv, Unexpected, UnexpectedBody};
 use crate::protocol::{Header, MsgKind, HEADER_LEN};
 use crate::request::{SendMode, Status};
+use crate::trace::{Span, SpanKind};
 use std::collections::{HashMap, VecDeque};
-use viampi_sim::{SimDuration, SimTime};
+use viampi_sim::{Registry, SimDuration, SimTime};
 use viampi_via::{CompletionKind, Discriminator, MemHandle, ViId, ViState, ViaError, ViaPort};
+
+/// The MPI device's metric set (`mpi.*` entries of the cross-layer
+/// registry). Counter semantics match the fields of [`MpiStats`], which is
+/// now a read-only view assembled from this registry.
+pub mod mpi_metrics {
+    viampi_sim::metric_defs! {
+        counters {
+            SENDS => "mpi.sends": "Point-to-point sends issued",
+            RECVS => "mpi.recvs": "Receives posted",
+            EAGER_SENT => "mpi.eager_sent": "Eager-protocol data messages sent",
+            RENDEZVOUS_SENT => "mpi.rendezvous_sent": "Rendezvous-protocol messages sent",
+            CREDIT_MSGS => "mpi.credit_msgs": "Explicit credit-return messages sent",
+            UNEXPECTED_MSGS => "mpi.unexpected_msgs": "Messages that arrived before their receive was posted",
+            COLLECTIVES => "mpi.collectives": "Collective operations performed",
+            FIFO_DEFERRED_SENDS => "mpi.fifo_deferred_sends": "Sends queued in a pre-posted FIFO (paper 3.4)",
+            CREDIT_GROWTHS => "mpi.credit_growths": "Dynamic-flow-control pool growths",
+            CONN_RETRIES => "mpi.conn_retries": "Connection retransmissions issued (fault injection)",
+            CONN_FAILURES => "mpi.conn_failures": "Channels failed after exhausting the retry budget",
+        }
+        gauges {
+            INIT_TIME_NS => "mpi.init_time_ns": "Virtual time spent inside MPI_Init, in nanoseconds",
+            CONNS_AT_INIT => "mpi.conns_at_init": "Connections established during MPI_Init",
+        }
+        hists {
+            EAGER_BYTES => "mpi.eager_bytes": "Payload size distribution of eager sends",
+            RNDV_BYTES => "mpi.rndv_bytes": "Payload size distribution of rendezvous sends",
+        }
+    }
+}
 
 /// Channel connection state (mirrors the per-peer FSM of §4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,6 +122,9 @@ pub struct Channel {
     conn_deadline: SimTime,
     /// Retransmissions issued for the pending connect.
     conn_attempts: u32,
+    /// When tracing, the time the channel was provisioned (start of the
+    /// connection-setup span closed by `finish_connect`).
+    conn_begin: SimTime,
 }
 
 impl Channel {
@@ -113,6 +146,7 @@ impl Channel {
             outq: VecDeque::new(),
             conn_deadline: SimTime::ZERO,
             conn_attempts: 0,
+            conn_begin: SimTime::ZERO,
         }
     }
 
@@ -149,13 +183,20 @@ struct ReqState {
     data: Option<Vec<u8>>,
     /// Recv rendezvous landing region (registered at CTS time).
     rndv_mem: Option<MemHandle>,
-    /// Recv rendezvous expected length.
+    /// Recv rendezvous expected length; on sends, the rendezvous payload
+    /// length (kept for the span closed at RDMA completion).
     rndv_len: usize,
     /// Peer (for rendezvous send).
     peer: usize,
+    /// When tracing, the time the rendezvous was started (RTS posted) —
+    /// the start of the span closed when the transfer completes.
+    rndv_begin: Option<SimTime>,
 }
 
 /// Per-rank MPI-level statistics.
+///
+/// A read-only view assembled from the device's metrics [`Registry`] by
+/// [`Device::stats`]; kept for report/test compatibility.
 #[derive(Debug, Clone, Default)]
 pub struct MpiStats {
     /// Point-to-point sends issued.
@@ -211,8 +252,11 @@ pub struct Device {
     armed_conn_timer: Option<SimTime>,
     /// Recorded protocol events (empty unless `cfg.trace`).
     pub trace: Vec<crate::trace::TraceEvent>,
-    /// MPI-level counters.
-    pub stats: MpiStats,
+    /// Recorded spans (empty unless `cfg.trace`).
+    pub spans: Vec<Span>,
+    /// MPI-level counters (`mpi.*`). Always enabled: the device reads its
+    /// own accounting back through [`Device::stats`].
+    pub metrics: Registry,
 }
 
 /// Staging slots currently in flight (capacity minus free).
@@ -242,8 +286,37 @@ impl Device {
             next_noise_at: viampi_sim::SimTime::ZERO,
             armed_conn_timer: None,
             trace: Vec::new(),
-            stats: MpiStats::default(),
+            spans: Vec::new(),
+            metrics: mpi_metrics::registry(),
         }
+    }
+
+    /// The MPI-level counters as the classic [`MpiStats`] view.
+    pub fn stats(&self) -> MpiStats {
+        use mpi_metrics as m;
+        MpiStats {
+            sends: self.metrics.counter(m::SENDS),
+            recvs: self.metrics.counter(m::RECVS),
+            eager_sent: self.metrics.counter(m::EAGER_SENT),
+            rendezvous_sent: self.metrics.counter(m::RENDEZVOUS_SENT),
+            credit_msgs: self.metrics.counter(m::CREDIT_MSGS),
+            unexpected_msgs: self.metrics.counter(m::UNEXPECTED_MSGS),
+            collectives: self.metrics.counter(m::COLLECTIVES),
+            init_time: SimDuration::nanos(self.metrics.gauge(m::INIT_TIME_NS)),
+            conns_at_init: self.metrics.gauge(m::CONNS_AT_INIT),
+            fifo_deferred_sends: self.metrics.counter(m::FIFO_DEFERRED_SENDS),
+            credit_growths: self.metrics.counter(m::CREDIT_GROWTHS),
+            conn_retries: self.metrics.counter(m::CONN_RETRIES),
+            conn_failures: self.metrics.counter(m::CONN_FAILURES),
+        }
+    }
+
+    /// Flat snapshot of this rank's device **and** NIC registries
+    /// (`mpi.*` + `nic.*` entries).
+    pub fn metrics_snapshot(&self) -> viampi_sim::MetricsSnapshot {
+        let mut snap = self.metrics.snapshot();
+        snap.merge(&self.port.metrics_snapshot());
+        snap
     }
 
     #[inline]
@@ -291,8 +364,13 @@ impl Device {
             ConnMode::StaticClientServer => self.init_static_cs(),
         }
         self.bootstrap_sync();
-        self.stats.init_time = self.port.ctx().now().since(t0);
-        self.stats.conns_at_init = self.port.stats().conns_established;
+        let init_time = self.port.ctx().now().since(t0);
+        self.metrics
+            .gauge_set(mpi_metrics::INIT_TIME_NS, init_time.as_nanos());
+        self.metrics.gauge_set(
+            mpi_metrics::CONNS_AT_INIT,
+            self.port.stats().conns_established,
+        );
     }
 
     /// Process-manager address exchange: everyone sends its NIC address to
@@ -444,7 +522,7 @@ impl Device {
                 Ok(vi) => break vi,
                 Err(ViaError::TransientFailure) => {
                     attempt += 1;
-                    self.stats.conn_retries += 1;
+                    self.metrics.inc(mpi_metrics::CONN_RETRIES);
                     self.trace(crate::trace::TraceKind::ConnRetry { peer, attempt });
                     if attempt > self.cfg.conn_retry_max {
                         return Err(ViaError::TransientFailure);
@@ -473,6 +551,9 @@ impl Device {
         ch.credits = chunk;
         ch.state = ChanState::Connecting;
         ch.conn_attempts = 0;
+        if self.cfg.trace {
+            self.channels[peer].conn_begin = self.port.ctx().now();
+        }
         self.vi_to_peer.insert(vi.0, peer);
         Ok(vi)
     }
@@ -502,7 +583,7 @@ impl Device {
         ch.credits_owed += chunk;
         ch.recvs_since_grow = 0;
         let bufs = ch.bufs;
-        self.stats.credit_growths += 1;
+        self.metrics.inc(mpi_metrics::CREDIT_GROWTHS);
         self.trace(crate::trace::TraceKind::PoolGrown { peer, bufs });
     }
 
@@ -549,7 +630,7 @@ impl Device {
     /// exhausted retry budget must take instead of hanging `finalize`).
     fn fail_channel(&mut self, peer: usize) {
         let attempts = self.channels[peer].conn_attempts;
-        self.stats.conn_failures += 1;
+        self.metrics.inc(mpi_metrics::CONN_FAILURES);
         self.trace(crate::trace::TraceKind::ConnFailed { peer, attempts });
         let ch = &mut self.channels[peer];
         ch.state = ChanState::Failed;
@@ -567,6 +648,13 @@ impl Device {
         self.channels[peer].state = ChanState::Connected;
         let deferred = self.channels[peer].outq.len();
         self.trace(crate::trace::TraceKind::ConnEstablished { peer, deferred });
+        if self.cfg.trace {
+            self.spans.push(Span {
+                begin: self.channels[peer].conn_begin,
+                end: self.port.ctx().now(),
+                kind: SpanKind::ConnSetup { peer },
+            });
+        }
         self.try_drain(peer);
     }
 
@@ -586,7 +674,7 @@ impl Device {
         mode: SendMode,
     ) -> u64 {
         assert!(dst < self.size, "invalid destination rank {dst}");
-        self.stats.sends += 1;
+        self.metrics.inc(mpi_metrics::SENDS);
         let req = self.alloc_req(dst);
         if dst == self.rank {
             // Self-send: loop back through the matcher (always buffered).
@@ -615,12 +703,21 @@ impl Device {
         }
         let rendezvous = data.len() > self.cfg.eager_threshold || mode == SendMode::Synchronous;
         if rendezvous {
-            self.stats.rendezvous_sent += 1;
+            self.metrics.inc(mpi_metrics::RENDEZVOUS_SENT);
+            self.metrics
+                .observe(mpi_metrics::RNDV_BYTES, data.len() as u64);
             self.trace(crate::trace::TraceKind::RndvStarted {
                 peer: dst,
                 bytes: data.len(),
             });
-            self.reqs.get_mut(&req).unwrap().data = Some(data.to_vec());
+            {
+                let r = self.reqs.get_mut(&req).unwrap();
+                r.data = Some(data.to_vec());
+                r.rndv_len = data.len();
+                if self.cfg.trace {
+                    r.rndv_begin = Some(self.port.ctx().now());
+                }
+            }
             let header = Header {
                 kind: MsgKind::Rts,
                 credits: 0,
@@ -633,7 +730,9 @@ impl Device {
             };
             self.enqueue_wire(dst, header, Vec::new());
         } else {
-            self.stats.eager_sent += 1;
+            self.metrics.inc(mpi_metrics::EAGER_SENT);
+            self.metrics
+                .observe(mpi_metrics::EAGER_BYTES, data.len() as u64);
             let header = Header {
                 kind: MsgKind::Eager,
                 credits: 0,
@@ -658,7 +757,7 @@ impl Device {
     /// `src == None` (`MPI_ANY_SOURCE`) under on-demand management, issue
     /// connection requests to **all** peers (§3.5).
     pub fn post_recv_msg(&mut self, src: Option<usize>, context: u16, tag: Option<i32>) -> u64 {
-        self.stats.recvs += 1;
+        self.metrics.inc(mpi_metrics::RECVS);
         let req = self.alloc_req(src.unwrap_or(usize::MAX));
         if self.cfg.conn == ConnMode::OnDemand {
             match src {
@@ -776,7 +875,7 @@ impl Device {
             return;
         }
         if self.channels[peer].state != ChanState::Connected {
-            self.stats.fifo_deferred_sends += 1;
+            self.metrics.inc(mpi_metrics::FIFO_DEFERRED_SENDS);
         }
         self.channels[peer]
             .outq
@@ -959,7 +1058,7 @@ impl Device {
                     self.channels[peer].conn_attempts = attempt;
                     match self.port.retry_connect(vi) {
                         Ok(true) => {
-                            self.stats.conn_retries += 1;
+                            self.metrics.inc(mpi_metrics::CONN_RETRIES);
                             self.trace(crate::trace::TraceKind::ConnRetry { peer, attempt });
                         }
                         // Already connected (or no longer retryable): the
@@ -1043,7 +1142,7 @@ impl Device {
                     aux2: 0,
                     len: 0,
                 };
-                self.stats.credit_msgs += 1;
+                self.metrics.inc(mpi_metrics::CREDIT_MSGS);
                 self.send_wire(peer, header, &[]);
             }
         }
@@ -1074,8 +1173,21 @@ impl Device {
         match use_ {
             SlotUse::Rdma { sreq, mem } => {
                 self.port.deregister(mem).expect("deregister send buf");
-                if let Some(req) = self.reqs.get_mut(&sreq) {
-                    req.done = true;
+                let span = match self.reqs.get_mut(&sreq) {
+                    Some(req) => {
+                        req.done = true;
+                        req.rndv_begin
+                            .take()
+                            .map(|begin| (begin, req.peer, req.rndv_len))
+                    }
+                    None => None,
+                };
+                if let Some((begin, peer, bytes)) = span {
+                    self.spans.push(Span {
+                        begin,
+                        end: self.port.ctx().now(),
+                        kind: SpanKind::Rendezvous { peer, bytes },
+                    });
                 }
             }
             SlotUse::Wire { .. } => unreachable!("wire uses Send completions"),
@@ -1145,7 +1257,7 @@ impl Device {
                         r.done = true;
                     }
                     None => {
-                        self.stats.unexpected_msgs += 1;
+                        self.metrics.inc(mpi_metrics::UNEXPECTED_MSGS);
                         // Copy into the unexpected pool.
                         self.port
                             .charge(self.port.profile().copy_time(payload.len()));
@@ -1172,7 +1284,7 @@ impl Device {
                         mlen,
                     ),
                     None => {
-                        self.stats.unexpected_msgs += 1;
+                        self.metrics.inc(mpi_metrics::UNEXPECTED_MSGS);
                         self.matcher.push_unexpected(Unexpected {
                             context: header.context,
                             src: header.src,
@@ -1304,6 +1416,7 @@ impl Device {
                 rndv_mem: None,
                 rndv_len: 0,
                 peer,
+                rndv_begin: None,
             },
         );
         id

@@ -57,6 +57,6 @@ pub use datatype::{from_bytes, reduce_into, to_bytes, ReduceOp, Scalar};
 pub use device::{ChanState, ChannelSnapshot, MpiStats};
 pub use mpi::{Mpi, ANY_SOURCE, ANY_TAG};
 pub use request::{MpiError, Request, SendMode, Status};
-pub use trace::{render_timeline, TraceEvent, TraceKind};
+pub use trace::{render_timeline, Span, SpanKind, TraceEvent, TraceKind};
 pub use universe::{RankReport, RunReport, Universe};
 pub use viampi_via::{FaultProfile, FaultStats};

@@ -286,7 +286,12 @@ impl Mpi {
 
     /// MPI-level statistics of this rank.
     pub fn mpi_stats(&self) -> MpiStats {
-        self.dev.borrow().stats.clone()
+        self.dev.borrow().stats()
+    }
+
+    /// Flat metrics snapshot of this rank (`mpi.*` + `nic.*` entries).
+    pub fn metrics_snapshot(&self) -> viampi_sim::MetricsSnapshot {
+        self.dev.borrow().metrics_snapshot()
     }
 
     /// NIC-level statistics of this rank.
@@ -322,9 +327,19 @@ impl Mpi {
             .count()
     }
 
-    /// Count a collective operation (called by the collective layer).
-    pub(crate) fn count_collective(&self) {
-        self.dev.borrow_mut().stats.collectives += 1;
+    /// Count a collective operation (called at the top of every collective
+    /// algorithm). The returned guard closes the collective's span when it
+    /// drops — bind it for the duration of the operation.
+    pub(crate) fn count_collective(&self, op: &'static str) -> CollectiveGuard<'_> {
+        let mut dev = self.dev.borrow_mut();
+        dev.metrics.inc(crate::device::mpi_metrics::COLLECTIVES);
+        let begin = dev.port.ctx().now();
+        drop(dev);
+        CollectiveGuard {
+            mpi: self,
+            op,
+            begin,
+        }
     }
 
     /// Access the device (crate-internal plumbing & tests).
@@ -341,5 +356,33 @@ impl Mpi {
     /// Take the recorded protocol trace (empty unless `MpiConfig::trace`).
     pub fn take_trace(&self) -> Vec<crate::trace::TraceEvent> {
         std::mem::take(&mut self.dev.borrow_mut().trace)
+    }
+
+    /// Take the recorded spans (empty unless `MpiConfig::trace`).
+    pub fn take_spans(&self) -> Vec<crate::trace::Span> {
+        std::mem::take(&mut self.dev.borrow_mut().spans)
+    }
+}
+
+/// Open-collective marker returned by [`Mpi::count_collective`]; closes the
+/// collective's span (when tracing) as it goes out of scope, so early
+/// returns in the algorithms still end the span.
+pub(crate) struct CollectiveGuard<'a> {
+    mpi: &'a Mpi,
+    op: &'static str,
+    begin: SimTime,
+}
+
+impl Drop for CollectiveGuard<'_> {
+    fn drop(&mut self) {
+        let mut dev = self.mpi.dev.borrow_mut();
+        if dev.cfg.trace {
+            let end = dev.port.ctx().now();
+            dev.spans.push(crate::trace::Span {
+                begin: self.begin,
+                end,
+                kind: crate::trace::SpanKind::Collective { op: self.op },
+            });
+        }
     }
 }

@@ -6,6 +6,10 @@
 //! happens. Traces are deterministic (virtual timestamps), cheap to
 //! render, and used by tests to assert *when* things happen, not just
 //! whether they do.
+//!
+//! Besides instant events, tracing records [`Span`]s — begin/end intervals
+//! around connection setup, rendezvous transfers, and collective phases —
+//! which the profiler exports as Chrome trace "complete" events.
 
 use viampi_sim::SimTime;
 
@@ -85,13 +89,11 @@ pub enum TraceKind {
     },
 }
 
-/// Render a trace as an aligned text timeline.
-pub fn render_timeline(rank: usize, events: &[TraceEvent]) -> String {
-    use std::fmt::Write;
-    let mut out = String::new();
-    let _ = writeln!(out, "rank {rank} timeline ({} events)", events.len());
-    for e in events {
-        let desc = match &e.kind {
+impl TraceKind {
+    /// One-line human description (shared by the text timeline and the
+    /// Chrome-trace exporter's instant-event names).
+    pub fn describe(&self) -> String {
+        match self {
             TraceKind::ConnIssued { peer } => format!("connect -> {peer} issued"),
             TraceKind::ConnEstablished { peer, deferred } => {
                 format!("connect -> {peer} established (drained {deferred} deferred sends)")
@@ -111,8 +113,70 @@ pub fn render_timeline(rank: usize, events: &[TraceEvent]) -> String {
             TraceKind::PoolGrown { peer, bufs } => {
                 format!("window -> {peer} grown to {bufs}")
             }
-        };
-        let _ = writeln!(out, "  {:>12}  {desc}", format!("{}", e.t));
+        }
+    }
+}
+
+/// A begin/end interval in one rank's execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// Interval start (virtual time).
+    pub begin: SimTime,
+    /// Interval end (virtual time, `>= begin`).
+    pub end: SimTime,
+    /// What the rank spent the interval on.
+    pub kind: SpanKind,
+}
+
+/// Kinds of traced intervals.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpanKind {
+    /// Connection setup toward `peer`: connect issued → channel usable.
+    ConnSetup {
+        /// Peer rank.
+        peer: usize,
+    },
+    /// Rendezvous transfer to `peer`: RTS posted → FIN delivered.
+    Rendezvous {
+        /// Peer rank.
+        peer: usize,
+        /// Message length.
+        bytes: usize,
+    },
+    /// A collective operation, entry to exit, on this rank.
+    Collective {
+        /// Operation name ("barrier", "bcast", ...).
+        op: &'static str,
+    },
+}
+
+impl SpanKind {
+    /// Display label (Chrome trace event `name`).
+    pub fn label(&self) -> String {
+        match self {
+            SpanKind::ConnSetup { peer } => format!("conn_setup -> {peer}"),
+            SpanKind::Rendezvous { peer, bytes } => format!("rendezvous -> {peer} ({bytes} B)"),
+            SpanKind::Collective { op } => format!("collective:{op}"),
+        }
+    }
+
+    /// Coarse category (Chrome trace event `cat`).
+    pub fn category(&self) -> &'static str {
+        match self {
+            SpanKind::ConnSetup { .. } => "connection",
+            SpanKind::Rendezvous { .. } => "rendezvous",
+            SpanKind::Collective { .. } => "collective",
+        }
+    }
+}
+
+/// Render a trace as an aligned text timeline.
+pub fn render_timeline(rank: usize, events: &[TraceEvent]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(out, "rank {rank} timeline ({} events)", events.len());
+    for e in events {
+        let _ = writeln!(out, "  {:>12}  {}", format!("{}", e.t), e.kind.describe());
     }
     out
 }
@@ -183,5 +247,38 @@ mod tests {
         assert!(s.contains("retry #2"));
         assert!(s.contains("FAILED after 10 retries"));
         assert_eq!(s.lines().count(), 10);
+    }
+
+    #[test]
+    fn span_labels_and_categories() {
+        let spans = [
+            Span {
+                begin: SimTime(100),
+                end: SimTime(900),
+                kind: SpanKind::ConnSetup { peer: 2 },
+            },
+            Span {
+                begin: SimTime(1_000),
+                end: SimTime(5_000),
+                kind: SpanKind::Rendezvous {
+                    peer: 2,
+                    bytes: 30_000,
+                },
+            },
+            Span {
+                begin: SimTime(6_000),
+                end: SimTime(7_000),
+                kind: SpanKind::Collective { op: "barrier" },
+            },
+        ];
+        assert_eq!(spans[0].kind.label(), "conn_setup -> 2");
+        assert_eq!(spans[0].kind.category(), "connection");
+        assert_eq!(spans[1].kind.label(), "rendezvous -> 2 (30000 B)");
+        assert_eq!(spans[1].kind.category(), "rendezvous");
+        assert_eq!(spans[2].kind.label(), "collective:barrier");
+        assert_eq!(spans[2].kind.category(), "collective");
+        for s in &spans {
+            assert!(s.end >= s.begin);
+        }
     }
 }

@@ -5,9 +5,10 @@
 use crate::config::{ConnMode, Device, MpiConfig, WaitPolicy};
 use crate::device::{ChannelSnapshot, Device as AdiDevice, MpiStats};
 use crate::mpi::Mpi;
+use crate::trace::{Span, TraceEvent};
 use std::sync::Arc;
 use viampi_sim::sync::Mutex;
-use viampi_sim::{Engine, SimDuration, SimError, SimTime};
+use viampi_sim::{Engine, MetricsSnapshot, SimDuration, SimError, SimTime};
 
 use viampi_via::{Fabric, FaultStats, NicStats, ViaPort};
 
@@ -31,6 +32,14 @@ pub struct RankReport {
     /// Per-peer channel state captured after `MPI_Finalize` (the raw
     /// material for simcheck's invariant checks).
     pub channels: Vec<ChannelSnapshot>,
+    /// Protocol trace (empty unless `MpiConfig::trace`; a body that calls
+    /// `Mpi::take_trace` keeps its events — they are not re-collected here).
+    pub trace: Vec<TraceEvent>,
+    /// Recorded spans (empty unless `MpiConfig::trace`; same take semantics
+    /// as `trace`).
+    pub spans: Vec<Span>,
+    /// This rank's flat metrics snapshot (`mpi.*` + `nic.*`).
+    pub metrics: MetricsSnapshot,
 }
 
 /// Outcome of a completed run.
@@ -49,6 +58,9 @@ pub struct RunReport<R> {
     pub fast_resumes: u64,
     /// Faults the fabric injected (all-zero without a fault profile).
     pub fault_stats: FaultStats,
+    /// Whole-run flat metrics snapshot: the engine's `sim.*` entries merged
+    /// with every rank's `mpi.*`/`nic.*` entries and the `fault.*` counters.
+    pub metrics: MetricsSnapshot,
     /// Configuration used.
     pub config: MpiConfig,
 }
@@ -148,10 +160,10 @@ impl Universe {
                 let port = ViaPort::open(ctx, rank);
                 let mut dev = AdiDevice::new(port, rank, np, cfg);
                 dev.init();
-                let init_time = dev.stats.init_time;
+                let init_time = dev.stats().init_time;
                 let mpi = Mpi::new(dev);
                 let result = body(&mpi);
-                let channels = {
+                let (channels, trace, spans, metrics) = {
                     let mut dev = mpi.device().borrow_mut();
                     assert_eq!(
                         dev.live_requests(),
@@ -159,7 +171,12 @@ impl Universe {
                         "rank {rank} finalized with incomplete requests"
                     );
                     dev.finalize();
-                    dev.channel_snapshots()
+                    (
+                        dev.channel_snapshots(),
+                        std::mem::take(&mut dev.trace),
+                        std::mem::take(&mut dev.spans),
+                        dev.metrics_snapshot(),
+                    )
                 };
                 let report = RankReport {
                     rank,
@@ -170,6 +187,9 @@ impl Universe {
                     vis_live: mpi.live_vis(),
                     vis_used: mpi.used_vis(),
                     channels,
+                    trace,
+                    spans,
+                    metrics,
                 };
                 slots.lock()[rank] = Some((result, report));
             });
@@ -187,13 +207,20 @@ impl Universe {
             results.push(r);
             ranks.push(report);
         }
+        let fault_stats = fabric.fault_stats();
+        let mut metrics = outcome.metrics.clone();
+        for r in &ranks {
+            metrics.merge(&r.metrics);
+        }
+        metrics.merge(&fault_stats.metrics_snapshot());
         Ok(RunReport {
             results,
             ranks,
             end_time: outcome.end_time,
             events: outcome.events_processed,
             fast_resumes: outcome.fast_resumes,
-            fault_stats: fabric.fault_stats(),
+            fault_stats,
+            metrics,
             config: self.cfg,
         })
     }

@@ -123,6 +123,7 @@ struct ProcSlot {
 /// never stale — no lazy-deletion bookkeeping is needed.
 struct ReadyHeap {
     heap: Vec<(SimTime, u64, ProcId)>,
+    peak: usize,
 }
 
 /// Second component of the ready-heap key for a process at `clock`.
@@ -151,6 +152,7 @@ impl ReadyHeap {
     fn with_capacity(cap: usize) -> Self {
         ReadyHeap {
             heap: Vec::with_capacity(cap),
+            peak: 0,
         }
     }
 
@@ -161,6 +163,9 @@ impl ReadyHeap {
 
     fn push(&mut self, clock: SimTime, last_run: u64, pid: ProcId) {
         self.heap.push((clock, last_run, pid));
+        if self.heap.len() > self.peak {
+            self.peak = self.heap.len();
+        }
         let mut i = self.heap.len() - 1;
         while i > 0 {
             let parent = (i - 1) / 2;
@@ -534,6 +539,12 @@ pub struct Outcome {
     /// Scheduler round trips avoided by the self-resume fast path. Purely
     /// a wall-clock statistic: it never affects virtual-time results.
     pub fast_resumes: u64,
+    /// The engine's metric set ([`crate::metrics::engine`]), published once
+    /// at the end of the run: handoffs, events, fast resumes, scheduled
+    /// events, and the ready-heap / event-queue high-water marks. Built
+    /// outside the scheduling hot path, so observability costs nothing
+    /// while the simulation runs.
+    pub metrics: crate::metrics::MetricsSnapshot,
 }
 
 type ProcBody<W> = Box<dyn FnOnce(ProcCtx<W>) + Send + 'static>;
@@ -684,6 +695,17 @@ impl<W: World> Engine<W> {
         TOTAL_RUNS.fetch_add(1, Ordering::Relaxed);
         TOTAL_EVENTS.fetch_add(inner.events_processed, Ordering::Relaxed);
         TOTAL_FAST_RESUMES.fetch_add(inner.fast_resumes, Ordering::Relaxed);
+        let metrics = {
+            use crate::metrics::engine as em;
+            let mut reg = em::registry();
+            reg.add(em::HANDOFFS, inner.pass);
+            reg.add(em::EVENTS, inner.events_processed);
+            reg.add(em::FAST_RESUMES, inner.fast_resumes);
+            reg.add(em::EVENTS_SCHEDULED, inner.queue.scheduled_total());
+            reg.gauge_max(em::READY_PEAK, inner.ready.peak as u64);
+            reg.gauge_max(em::QUEUE_PEAK, inner.queue.peak() as u64);
+            reg.snapshot()
+        };
         Ok((
             inner.world,
             Outcome {
@@ -691,6 +713,7 @@ impl<W: World> Engine<W> {
                 end_time,
                 events_processed: inner.events_processed,
                 fast_resumes: inner.fast_resumes,
+                metrics,
             },
         ))
     }
@@ -1054,6 +1077,36 @@ mod tests {
         let mut sorted = times.clone();
         sorted.sort_unstable();
         assert_eq!(times, sorted, "global observation order is time order");
+    }
+
+    #[test]
+    fn outcome_metrics_mirror_the_run() {
+        let run = || {
+            let mut eng = Engine::new(MailWorld::new(2));
+            for pid in 0..2usize {
+                eng.spawn(format!("p{pid}"), move |ctx| {
+                    for _ in 0..10 {
+                        ctx.with_world(|_, api| {
+                            api.schedule(
+                                SimDuration::nanos(5),
+                                MailEvent::Deliver { to: 0, value: 1 },
+                            );
+                        });
+                        ctx.advance(SimDuration::nanos(10));
+                    }
+                });
+            }
+            eng.run().unwrap().1
+        };
+        let out = run();
+        assert_eq!(out.metrics.get("sim.events"), Some(out.events_processed));
+        assert_eq!(out.metrics.get("sim.fast_resumes"), Some(out.fast_resumes));
+        assert_eq!(out.metrics.get("sim.events_scheduled"), Some(20));
+        assert!(out.metrics.get("sim.handoffs").unwrap() >= out.fast_resumes);
+        assert!(out.metrics.get("sim.ready_peak").unwrap() >= 2);
+        assert!(out.metrics.get("sim.queue_peak").unwrap() >= 1);
+        // Virtual-time determinism extends to the snapshot.
+        assert_eq!(out.metrics, run().metrics);
     }
 
     // ------------------------------------------------------------------

@@ -11,7 +11,10 @@
 //! * deadlock detection (the original paper's correctness arguments about
 //!   connection progress are exercised by tests that *expect* deadlocks when
 //!   the rules are broken);
-//! * [`SplitMix64`] — a tiny deterministic RNG for device-model jitter.
+//! * [`SplitMix64`] — a tiny deterministic RNG for device-model jitter;
+//! * [`metrics`] — the cross-layer metrics registry every layer of the
+//!   stack publishes into (the engine's own set lands in
+//!   [`Outcome::metrics`]).
 //!
 //! The design follows the "sequential process-oriented discrete event
 //! simulation" pattern (as in SimGrid/LogGOPSim): simulation results are a
@@ -45,6 +48,7 @@
 
 mod engine;
 mod error;
+pub mod metrics;
 mod queue;
 mod rng;
 pub mod sync;
@@ -52,6 +56,7 @@ mod time;
 
 pub use engine::{engine_totals, Api, Engine, EngineTotals, Outcome, ProcCtx, ProcId, World};
 pub use error::{BlockedProc, SimError};
+pub use metrics::{MetricEntry, MetricsSnapshot, Registry};
 pub use queue::EventQueue;
 pub use rng::SplitMix64;
 pub use time::{SimDuration, SimTime};

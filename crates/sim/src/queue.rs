@@ -31,6 +31,7 @@ impl<E> Entry<E> {
 pub struct EventQueue<E> {
     heap: Vec<Entry<E>>,
     next_seq: u64,
+    peak: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -45,6 +46,7 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: Vec::new(),
             next_seq: 0,
+            peak: 0,
         }
     }
 
@@ -53,6 +55,7 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: Vec::with_capacity(cap),
             next_seq: 0,
+            peak: 0,
         }
     }
 
@@ -65,6 +68,9 @@ impl<E> EventQueue<E> {
             seq,
             event,
         });
+        if self.heap.len() > self.peak {
+            self.peak = self.heap.len();
+        }
         self.sift_up(self.heap.len() - 1);
     }
 
@@ -117,6 +123,11 @@ impl<E> EventQueue<E> {
     /// Total number of events ever scheduled (insertion counter).
     pub fn scheduled_total(&self) -> u64 {
         self.next_seq
+    }
+
+    /// Peak occupancy ever reached (survives [`EventQueue::clear`]).
+    pub fn peak(&self) -> usize {
+        self.peak
     }
 
     fn sift_up(&mut self, mut i: usize) {
@@ -228,6 +239,19 @@ mod tests {
             let got: Vec<(SimTime, u64)> = std::iter::from_fn(|| q.pop()).collect();
             assert_eq!(got, expect, "round {round}");
         }
+    }
+
+    #[test]
+    fn peak_tracks_the_high_water_mark() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peak(), 0);
+        q.push(t(1), 0);
+        q.push(t(2), 1);
+        q.pop();
+        q.push(t(3), 2);
+        assert_eq!(q.peak(), 2, "pop then push stays at the high-water mark");
+        q.clear();
+        assert_eq!(q.peak(), 2, "peak survives clear");
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //!   arrive finds its initiator already matched and is dropped as stale).
 
 use crate::fault::{FaultInjector, FaultProfile, FaultStats};
-use crate::nic::{Nic, RecvDesc};
+use crate::nic::{nic_metrics, Nic, RecvDesc};
 use crate::profile::DeviceProfile;
 use crate::types::{
     Completion, CompletionKind, CsRequest, DescId, Discriminator, MemHandle, NodeId, PeerRequest,
@@ -226,7 +226,7 @@ impl Fabric {
             let v = self.nics[node].vi(vi)?;
             if !v.state.is_connected() {
                 let desc = self.nics[node].alloc_desc();
-                self.nics[node].stats.drops_unconnected += 1;
+                self.nics[node].metrics.inc(nic_metrics::DROPS_UNCONNECTED);
                 return Ok(desc);
             }
             v.peer.expect("connected VI has a peer")
@@ -308,8 +308,9 @@ impl Fabric {
             PacketBody::Rdma { .. } => CompletionKind::RdmaWrite,
         };
         let nic = &mut self.nics[node];
-        nic.stats.msgs_tx += 1;
-        nic.stats.bytes_tx += bytes as u64;
+        nic.metrics.inc(nic_metrics::MSGS_TX);
+        nic.metrics.add(nic_metrics::BYTES_TX, bytes as u64);
+        nic.metrics.observe(nic_metrics::TX_BYTES, bytes as u64);
         nic.vis[vi.0 as usize].msgs_sent += 1;
         let live = nic.live_vis();
         let start = (api.now() + self.profile.doorbell).max(nic.tx_busy_until);
@@ -377,7 +378,7 @@ impl Fabric {
             v.remote = Some(remote);
             v.disc = Some(disc);
         }
-        self.nics[node].stats.conn_requests += 1;
+        self.nics[node].metrics.inc(nic_metrics::CONN_REQUESTS);
 
         // Did the remote's request already arrive here?
         let pending = self.nics[node]
@@ -427,7 +428,7 @@ impl Fabric {
         match state {
             ViState::Connected => Ok(false),
             ViState::Connecting => {
-                self.nics[node].stats.conn_retries += 1;
+                self.nics[node].metrics.inc(nic_metrics::CONN_RETRIES);
                 let pending = self.nics[node]
                     .incoming_peer
                     .iter()
@@ -466,7 +467,7 @@ impl Fabric {
                 let Some(peer_vi) = peer_vi else {
                     return Ok(false);
                 };
-                self.nics[node].stats.conn_retries += 1;
+                self.nics[node].metrics.inc(nic_metrics::CONN_RETRIES);
                 self.schedule_conn(
                     api,
                     self.profile.conn_establish,
@@ -562,7 +563,7 @@ impl Fabric {
             v.remote = Some(remote);
             v.disc = Some(disc);
         }
-        self.nics[node].stats.conn_requests += 1;
+        self.nics[node].metrics.inc(nic_metrics::CONN_REQUESTS);
         api.schedule(
             self.profile.conn_wire,
             FabricEvent::CsReqArrive {
@@ -696,23 +697,23 @@ impl World for Fabric {
                     PacketBody::Send { data, imm } => {
                         let nic = &mut self.nics[dst_node];
                         let Ok(vi) = nic.vi_mut(dst_vi) else {
-                            nic.stats.drops_no_desc += 1;
+                            nic.metrics.inc(nic_metrics::DROPS_NO_DESC);
                             return;
                         };
                         let Some(rd) = vi.recv_q.front().copied() else {
-                            nic.stats.drops_no_desc += 1;
+                            nic.metrics.inc(nic_metrics::DROPS_NO_DESC);
                             return;
                         };
                         if rd.len < data.len() {
-                            nic.stats.drops_too_big += 1;
+                            nic.metrics.inc(nic_metrics::DROPS_TOO_BIG);
                             return;
                         }
                         vi.recv_q.pop_front();
                         vi.msgs_recvd += 1;
                         nic.regions[rd.mem.0 as usize].data[rd.off..rd.off + data.len()]
                             .copy_from_slice(&data);
-                        nic.stats.msgs_rx += 1;
-                        nic.stats.bytes_rx += data.len() as u64;
+                        nic.metrics.inc(nic_metrics::MSGS_RX);
+                        nic.metrics.add(nic_metrics::BYTES_RX, data.len() as u64);
                         nic.cq.push_back(Completion {
                             vi: dst_vi,
                             kind: CompletionKind::Recv,
@@ -732,14 +733,14 @@ impl World for Fabric {
                             .check_bounds(remote_mem, remote_off, data.len())
                             .is_err()
                         {
-                            nic.stats.drops_rdma += 1;
+                            nic.metrics.inc(nic_metrics::DROPS_RDMA);
                             return;
                         }
                         nic.regions[remote_mem.0 as usize].data
                             [remote_off..remote_off + data.len()]
                             .copy_from_slice(&data);
-                        nic.stats.msgs_rx += 1;
-                        nic.stats.bytes_rx += data.len() as u64;
+                        nic.metrics.inc(nic_metrics::MSGS_RX);
+                        nic.metrics.add(nic_metrics::BYTES_RX, data.len() as u64);
                         // One-sided: no completion, no activity (invisible to
                         // the target process, as in the VI Architecture).
                     }
@@ -781,7 +782,7 @@ impl World for Fabric {
                     if v.state != ViState::Connected {
                         v.state = ViState::Connected;
                         v.peer = Some(peer);
-                        nic.stats.conns_established += 1;
+                        nic.metrics.inc(nic_metrics::CONNS_ESTABLISHED);
                         nic.bump_activity(&mut wake);
                     }
                 }

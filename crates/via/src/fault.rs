@@ -104,6 +104,21 @@ impl FaultStats {
             + self.conn_reordered
             + self.vi_create_failures
     }
+
+    /// These counters as `fault.*` entries of the cross-layer metrics
+    /// snapshot (all summable across ranks/runs).
+    pub fn metrics_snapshot(&self) -> viampi_sim::MetricsSnapshot {
+        use viampi_sim::MetricEntry;
+        viampi_sim::MetricsSnapshot {
+            entries: vec![
+                MetricEntry::add("fault.conn_dropped", self.conn_dropped),
+                MetricEntry::add("fault.conn_duplicated", self.conn_duplicated),
+                MetricEntry::add("fault.conn_delayed", self.conn_delayed),
+                MetricEntry::add("fault.conn_reordered", self.conn_reordered),
+                MetricEntry::add("fault.vi_create_failures", self.vi_create_failures),
+            ],
+        }
+    }
 }
 
 /// The stateful injector: a profile plus its private deterministic RNG.

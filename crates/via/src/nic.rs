@@ -6,7 +6,39 @@ use crate::types::{
     ViaError,
 };
 use std::collections::VecDeque;
-use viampi_sim::{ProcId, SimTime};
+use viampi_sim::{ProcId, Registry, SimTime};
+
+/// The NIC metric set (see [`viampi_sim::metrics`]). Every fabric-level
+/// counter lives here; [`NicStats`] is a compatibility view built from a
+/// registry snapshot by [`Nic::stats`].
+pub mod nic_metrics {
+    viampi_sim::metric_defs! {
+        counters {
+            VIS_CREATED => "nic.vis_created": "VIs ever created",
+            VIS_DESTROYED => "nic.vis_destroyed": "VIs destroyed",
+            CONNS_ESTABLISHED => "nic.conns_established": "Connections fully established (per local endpoint)",
+            CONN_REQUESTS => "nic.conn_requests": "Outgoing connection requests issued",
+            CONN_RETRIES => "nic.conn_retries": "Connection-step retransmissions after a retry timeout",
+            MSGS_TX => "nic.msgs_tx": "Messages transmitted (send + RDMA)",
+            BYTES_TX => "nic.bytes_tx": "Bytes transmitted",
+            MSGS_RX => "nic.msgs_rx": "Messages received",
+            BYTES_RX => "nic.bytes_rx": "Bytes received",
+            DROPS_UNCONNECTED => "nic.drops_unconnected": "Sends discarded on unconnected VIs",
+            DROPS_NO_DESC => "nic.drops_no_desc": "Arrivals dropped with no posted receive descriptor",
+            DROPS_TOO_BIG => "nic.drops_too_big": "Arrivals dropped into a too-small buffer",
+            DROPS_RDMA => "nic.drops_rdma": "RDMA writes dropped for addressing errors",
+            DESCS_POSTED => "nic.descs_posted": "Descriptors posted (sends + receives + RDMA)",
+        }
+        gauges {
+            VIS_PEAK => "nic.vis_peak": "Peak simultaneously-live VIs",
+            PINNED_NOW => "nic.pinned_now": "Currently pinned bytes",
+            PINNED_PEAK => "nic.pinned_peak": "Peak pinned bytes",
+        }
+        hists {
+            TX_BYTES => "nic.tx_bytes": "Per-packet transmit size distribution",
+        }
+    }
+}
 
 /// A posted receive descriptor (address of a pinned buffer segment).
 #[derive(Debug, Clone, Copy)]
@@ -68,6 +100,10 @@ pub struct Region {
 
 /// Cumulative per-NIC statistics (the raw material of the paper's Table 2
 /// and the resource-usage arguments of §1).
+///
+/// Since the metrics-registry refactor this is a point-in-time *view*
+/// assembled by [`Nic::stats`] from the NIC's [`Registry`] — kept as a
+/// plain struct so existing readers are untouched.
 #[derive(Debug, Clone, Default)]
 pub struct NicStats {
     /// VIs ever created.
@@ -140,8 +176,9 @@ pub struct Nic {
     pub next_cs_id: u64,
     /// Out-of-band (process-manager) mailbox: `(from, payload)`.
     pub oob: VecDeque<(NodeId, Vec<u8>)>,
-    /// Resource counters.
-    pub stats: NicStats,
+    /// Resource counters ([`nic_metrics`] set). Always enabled: the pin
+    /// limit and the live-VI limit read their own accounting back.
+    pub metrics: Registry,
 }
 
 impl Nic {
@@ -161,14 +198,40 @@ impl Nic {
             incoming_cs: Vec::new(),
             next_cs_id: 0,
             oob: VecDeque::new(),
-            stats: NicStats::default(),
+            metrics: nic_metrics::registry(),
+        }
+    }
+
+    /// Compatibility view of the NIC's registry as the legacy counter
+    /// struct (one read per field; cheap, call on demand).
+    pub fn stats(&self) -> NicStats {
+        use nic_metrics as m;
+        NicStats {
+            vis_created: self.metrics.counter(m::VIS_CREATED),
+            vis_destroyed: self.metrics.counter(m::VIS_DESTROYED),
+            vis_peak: self.metrics.gauge(m::VIS_PEAK),
+            conns_established: self.metrics.counter(m::CONNS_ESTABLISHED),
+            conn_requests: self.metrics.counter(m::CONN_REQUESTS),
+            conn_retries: self.metrics.counter(m::CONN_RETRIES),
+            pinned_now: self.metrics.gauge(m::PINNED_NOW) as usize,
+            pinned_peak: self.metrics.gauge(m::PINNED_PEAK) as usize,
+            msgs_tx: self.metrics.counter(m::MSGS_TX),
+            bytes_tx: self.metrics.counter(m::BYTES_TX),
+            msgs_rx: self.metrics.counter(m::MSGS_RX),
+            bytes_rx: self.metrics.counter(m::BYTES_RX),
+            drops_unconnected: self.metrics.counter(m::DROPS_UNCONNECTED),
+            drops_no_desc: self.metrics.counter(m::DROPS_NO_DESC),
+            drops_too_big: self.metrics.counter(m::DROPS_TOO_BIG),
+            drops_rdma: self.metrics.counter(m::DROPS_RDMA),
+            descs_posted: self.metrics.counter(m::DESCS_POSTED),
         }
     }
 
     /// Number of currently live (created, not destroyed) VIs. This is the
     /// "active VIs" count whose growth degrades Berkeley VIA (paper Fig. 1).
     pub fn live_vis(&self) -> usize {
-        (self.stats.vis_created - self.stats.vis_destroyed) as usize
+        (self.metrics.counter(nic_metrics::VIS_CREATED)
+            - self.metrics.counter(nic_metrics::VIS_DESTROYED)) as usize
     }
 
     /// Create a VI, respecting the per-NIC limit.
@@ -178,8 +241,9 @@ impl Nic {
         }
         let id = ViId(self.vis.len() as u32);
         self.vis.push(Vi::new());
-        self.stats.vis_created += 1;
-        self.stats.vis_peak = self.stats.vis_peak.max(self.live_vis() as u64);
+        self.metrics.inc(nic_metrics::VIS_CREATED);
+        let live = self.live_vis() as u64;
+        self.metrics.gauge_max(nic_metrics::VIS_PEAK, live);
         Ok(id)
     }
 
@@ -205,16 +269,17 @@ impl Nic {
         vi.destroyed = true;
         vi.state = ViState::Error;
         vi.recv_q.clear();
-        self.stats.vis_destroyed += 1;
+        self.metrics.inc(nic_metrics::VIS_DESTROYED);
         Ok(())
     }
 
     /// Register (pin) `len` bytes, respecting the pin limit.
     pub fn register(&mut self, len: usize, max_pinned: usize) -> Result<MemHandle, ViaError> {
-        if self.stats.pinned_now + len > max_pinned {
+        let pinned_now = self.metrics.gauge(nic_metrics::PINNED_NOW) as usize;
+        if pinned_now + len > max_pinned {
             return Err(ViaError::PinLimitExceeded {
                 requested: len,
-                available: max_pinned - self.stats.pinned_now,
+                available: max_pinned - pinned_now,
             });
         }
         let h = MemHandle(self.regions.len() as u32);
@@ -222,8 +287,9 @@ impl Nic {
             data: vec![0; len],
             active: true,
         });
-        self.stats.pinned_now += len;
-        self.stats.pinned_peak = self.stats.pinned_peak.max(self.stats.pinned_now);
+        self.metrics.gauge_add(nic_metrics::PINNED_NOW, len as u64);
+        let now = self.metrics.gauge(nic_metrics::PINNED_NOW);
+        self.metrics.gauge_max(nic_metrics::PINNED_PEAK, now);
         Ok(h)
     }
 
@@ -237,7 +303,8 @@ impl Nic {
             return Err(ViaError::InvalidMem);
         }
         r.active = false;
-        self.stats.pinned_now -= r.data.len();
+        self.metrics
+            .gauge_sub(nic_metrics::PINNED_NOW, r.data.len() as u64);
         let freed = std::mem::take(&mut r.data);
         drop(freed);
         Ok(())
@@ -262,7 +329,7 @@ impl Nic {
     pub fn alloc_desc(&mut self) -> DescId {
         let d = DescId(self.next_desc);
         self.next_desc += 1;
-        self.stats.descs_posted += 1;
+        self.metrics.inc(nic_metrics::DESCS_POSTED);
         d
     }
 
@@ -297,8 +364,8 @@ mod tests {
         assert_eq!(nic.create_vi(2).unwrap_err(), ViaError::TooManyVis);
         nic.destroy_vi(a).unwrap();
         assert!(nic.create_vi(2).is_ok(), "destroying frees a slot");
-        assert_eq!(nic.stats.vis_created, 3);
-        assert_eq!(nic.stats.vis_peak, 2);
+        assert_eq!(nic.stats().vis_created, 3);
+        assert_eq!(nic.stats().vis_peak, 2);
     }
 
     #[test]
@@ -314,13 +381,13 @@ mod tests {
             }
         ));
         let b = nic.register(1000, 2000).unwrap();
-        assert_eq!(nic.stats.pinned_now, 2000);
+        assert_eq!(nic.stats().pinned_now, 2000);
         nic.deregister(a).unwrap();
-        assert_eq!(nic.stats.pinned_now, 1000);
-        assert_eq!(nic.stats.pinned_peak, 2000);
+        assert_eq!(nic.stats().pinned_now, 1000);
+        assert_eq!(nic.stats().pinned_peak, 2000);
         assert!(nic.deregister(a).is_err(), "double deregister rejected");
         nic.deregister(b).unwrap();
-        assert_eq!(nic.stats.pinned_now, 0);
+        assert_eq!(nic.stats().pinned_now, 0);
     }
 
     #[test]
@@ -358,6 +425,11 @@ mod tests {
         let a = nic.alloc_desc();
         let b = nic.alloc_desc();
         assert!(b.0 > a.0);
-        assert_eq!(nic.stats.descs_posted, 2);
+        assert_eq!(nic.stats().descs_posted, 2);
+        assert_eq!(
+            nic.metrics.snapshot().get("nic.descs_posted"),
+            Some(2),
+            "registry snapshot agrees with the compatibility view"
+        );
     }
 }

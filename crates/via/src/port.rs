@@ -374,7 +374,13 @@ impl ViaPort {
     /// Snapshot of this NIC's statistics.
     pub fn stats(&self) -> crate::nic::NicStats {
         let node = self.node;
-        self.ctx.with_world(|f, _| f.nics[node].stats.clone())
+        self.ctx.with_world(|f, _| f.nics[node].stats())
+    }
+
+    /// Flat metrics snapshot of this NIC's registry (`nic.*` entries).
+    pub fn metrics_snapshot(&self) -> viampi_sim::MetricsSnapshot {
+        let node = self.node;
+        self.ctx.with_world(|f, _| f.nics[node].metrics.snapshot())
     }
 
     /// Live VI count on this NIC.
@@ -494,11 +500,11 @@ mod tests {
         });
         let (fabric, out) = eng.run().unwrap();
         assert!(out.end_time.as_nanos() > 0);
-        assert_eq!(fabric.nics[0].stats.msgs_tx, 1);
-        assert_eq!(fabric.nics[0].stats.msgs_rx, 1);
-        assert_eq!(fabric.nics[0].stats.drops_no_desc, 0);
-        assert_eq!(fabric.nics[0].stats.conns_established, 1);
-        assert_eq!(fabric.nics[1].stats.conns_established, 1);
+        assert_eq!(fabric.nics[0].stats().msgs_tx, 1);
+        assert_eq!(fabric.nics[0].stats().msgs_rx, 1);
+        assert_eq!(fabric.nics[0].stats().drops_no_desc, 0);
+        assert_eq!(fabric.nics[0].stats().conns_established, 1);
+        assert_eq!(fabric.nics[1].stats().conns_established, 1);
     }
 
     /// The on-demand scenario: one side connects late, discovering the
@@ -557,8 +563,8 @@ mod tests {
             });
         }
         let (fabric, _) = eng.run().unwrap();
-        assert_eq!(fabric.nics[0].stats.conns_established, 1);
-        assert_eq!(fabric.nics[1].stats.conns_established, 1);
+        assert_eq!(fabric.nics[0].stats().conns_established, 1);
+        assert_eq!(fabric.nics[1].stats().conns_established, 1);
     }
 
     /// Client/server model: server accepts a pending request.
@@ -745,7 +751,7 @@ mod tests {
             }
         });
         let (fabric, _) = eng.run().unwrap();
-        assert_eq!(fabric.nics[1].stats.msgs_rx, 10);
+        assert_eq!(fabric.nics[1].stats().msgs_rx, 10);
     }
 
     /// OOB bootstrap channel delivers with its own latency.
@@ -901,9 +907,9 @@ mod tests {
         });
         let (fabric, _) = eng.run().unwrap();
         assert_eq!(fabric.fault_stats().conn_dropped, 2);
-        assert_eq!(fabric.nics[0].stats.conn_retries, 1);
-        assert_eq!(fabric.nics[0].stats.conns_established, 1);
-        assert_eq!(fabric.nics[1].stats.conns_established, 1);
+        assert_eq!(fabric.nics[0].stats().conn_retries, 1);
+        assert_eq!(fabric.nics[0].stats().conns_established, 1);
+        assert_eq!(fabric.nics[1].stats().conns_established, 1);
     }
 
     /// Every connection packet duplicated: the stale-request and
@@ -932,7 +938,8 @@ mod tests {
         assert!(fabric.fault_stats().conn_duplicated > 0);
         for n in 0..2 {
             assert_eq!(
-                fabric.nics[n].stats.conns_established, 1,
+                fabric.nics[n].stats().conns_established,
+                1,
                 "duplicates must not double-establish on node {n}"
             );
             assert!(fabric.nics[n].incoming_peer.is_empty());
@@ -964,6 +971,6 @@ mod tests {
         });
         let (fabric, _) = eng.run().unwrap();
         assert_eq!(fabric.fault_stats().vi_create_failures, 1);
-        assert_eq!(fabric.nics[0].stats.vis_created, 1);
+        assert_eq!(fabric.nics[0].stats().vis_created, 1);
     }
 }

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Pre-PR gate: formatting, lints, and the tier-1 build/test pair, all
-# offline (the build environment has no crate registry — see DESIGN.md §3).
+# offline (the build environment has no crate registry — see DESIGN.md §3)
+# and --locked, so a drifted Cargo.lock fails loudly instead of resolving.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -8,16 +9,16 @@ echo "== cargo fmt --check"
 cargo fmt --all -- --check
 
 echo "== cargo clippy (deny warnings)"
-cargo clippy --workspace --all-targets --offline -- -D warnings
+cargo clippy --workspace --all-targets --offline --locked -- -D warnings
 
 echo "== tier-1: cargo build --release (offline)"
-cargo build --release --offline
+cargo build --release --offline --locked
 
 echo "== tier-1: cargo test -q (offline, full workspace)"
-cargo test -q --offline --workspace
+cargo test -q --offline --locked --workspace
 
 echo "== simcheck smoke (fixed seeds, heavy faults)"
-cargo run -q --release --offline -p viampi-bench --bin simcheck -- \
+cargo run -q --release --offline --locked -p viampi-bench --bin simcheck -- \
     --seeds 150 --start 0 --fault heavy
 
 echo "all checks passed"

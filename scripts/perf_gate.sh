@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Hot-path performance gate: measure the hotpaths microbenchmarks into a
+# scratch record and compare it against the committed baseline
+# (results/bench_hotpaths_baseline.json). Fails if any hot-path benchmark
+# regressed by more than 25% — see `perf_gate --help` for the knobs, and
+# results/README.md for how to refresh the baseline after a deliberate
+# change.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== measuring hot paths (bench_hotpaths -> bench_hotpaths_current)"
+cargo bench -q --offline --locked -p viampi-bench --bench hotpaths -- \
+    --json-out bench_hotpaths_current
+
+echo "== comparing against the committed baseline"
+cargo run -q --release --offline --locked -p viampi-bench --bin perf_gate -- \
+    --baseline results/bench_hotpaths_baseline.json \
+    --current results/bench_hotpaths_current.json \
+    --max-regress 25
