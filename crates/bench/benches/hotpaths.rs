@@ -4,9 +4,11 @@
 //! path: run once normally and once with `VIAMPI_NO_FASTPATH=1` to see
 //! the scheduler round trip it removes.
 
+use viampi_bench::micro;
 use viampi_bench::minibench::{black_box, Bench};
 use viampi_core::matching::{MatchEngine, PostedRecv, Unexpected, UnexpectedBody};
 use viampi_core::protocol::{Header, MsgKind};
+use viampi_core::{ConnMode, Device, WaitPolicy};
 use viampi_sim::{Engine, EventQueue, SimDuration, SimTime, SplitMix64};
 
 fn bench_header_codec(b: &mut Bench) {
@@ -53,7 +55,7 @@ fn bench_matching(b: &mut Bench) {
                 context: 0,
                 src: i % 8,
                 tag: i as i32,
-                body: UnexpectedBody::Eager(vec![0u8; 16]),
+                body: UnexpectedBody::Eager(vec![0u8; 16].into()),
             });
         }
         for i in (0..64u64).rev() {
@@ -90,6 +92,45 @@ fn bench_event_queue(b: &mut Bench) {
                 black_box(e);
             }
         }
+    });
+    b.run("queue_wheel_1k", || {
+        // Spread pushes across every wheel level (due buffer, level 0,
+        // level 1, far-future overflow) with interleaved pops — the
+        // cascade-heavy pattern the timing wheel's advance() pays for.
+        let mut rng = SplitMix64::new(0x51ED);
+        let mut q = EventQueue::with_capacity(1024);
+        let mut popped = 0u64;
+        for i in 0..1000u64 {
+            let scale = [11u32, 17, 22, 34][(i % 4) as usize];
+            q.push(SimTime(rng.next_below(1u64 << scale)), i);
+            if i % 3 == 0 {
+                if let Some(e) = q.pop() {
+                    black_box(e);
+                    popped += 1;
+                }
+            }
+        }
+        while let Some(e) = q.pop() {
+            black_box(e);
+            popped += 1;
+        }
+        popped
+    });
+}
+
+fn bench_data_plane(b: &mut Bench) {
+    // Host wall-clock of a full 2-rank eager ping-pong simulation: pooled
+    // frame alloc, the single staging copy, by-reference delivery, recycle
+    // on drop. Virtual-time results are pinned by the figure JSON; this
+    // guards the real-time cost of the data plane.
+    b.run("eager_pingpong_pooled", || {
+        micro::pingpong_latency(
+            Device::Clan,
+            ConnMode::OnDemand,
+            WaitPolicy::Polling,
+            256,
+            32,
+        )
     });
 }
 
@@ -134,6 +175,7 @@ fn main() {
     bench_header_codec(&mut b);
     bench_matching(&mut b);
     bench_event_queue(&mut b);
+    bench_data_plane(&mut b);
     bench_engine(&mut b);
     b.finish("bench_hotpaths");
 }

@@ -97,6 +97,62 @@ fn npb_point_is_identical_under_jobs_1_and_n() {
     let _ = std::fs::remove_file(viampi_bench::report::results_dir().join("det_cg.json"));
 }
 
+fn pooled_ring_run(np: usize) -> RunReport<Option<f64>> {
+    // Eager + rendezvous neighbor exchange: every payload rides the pooled
+    // data plane (frame alloc, single staging copy, by-reference delivery,
+    // recycle on drop), with sizes crossing several pool size classes and
+    // one rendezvous transfer (> eager threshold).
+    Universe::new(np, Device::Clan, ConnMode::OnDemand, WaitPolicy::Polling)
+        .run(|mpi| {
+            let np = mpi.size();
+            let me = mpi.rank();
+            let right = (me + 1) % np;
+            let left = (me + np - 1) % np;
+            let mut acc = 0.0f64;
+            for &sz in &[1usize, 64, 256, 1500, 4000, 6000] {
+                let sbuf = vec![(me as u8) ^ (sz as u8); sz];
+                let (data, status) = mpi.sendrecv(&sbuf, right, 7, Some(left), Some(7));
+                assert_eq!(data.len(), sz);
+                assert_eq!(status.source, left);
+                assert!(data.iter().all(|&b| b == (left as u8) ^ (sz as u8)));
+                acc += data.iter().map(|&b| b as f64).sum::<f64>();
+            }
+            Some(acc)
+        })
+        .unwrap()
+}
+
+#[test]
+fn pooled_exchange_is_bit_identical_across_repeats() {
+    let a = pooled_ring_run(8);
+    let b = pooled_ring_run(8);
+    assert_eq!(
+        fingerprint(&a),
+        fingerprint(&b),
+        "repeat pooled-path run must be bit-identical"
+    );
+    let ra = a.metrics.render();
+    assert_eq!(ra, b.metrics.render(), "pool/wheel counters must replay");
+    for name in ["nic.pool.hits", "nic.pool.recycled", "sim.wheel.push_l0"] {
+        assert!(ra.contains(name), "snapshot is missing {name}:\n{ra}");
+    }
+}
+
+#[test]
+fn pooled_exchange_is_identical_under_jobs_1_and_n() {
+    let nps = vec![2usize, 4, 8];
+    runner::set_jobs(1);
+    let serial: Vec<String> =
+        runner::par_map(nps.clone(), |np| pooled_ring_run(np).metrics.render());
+    runner::set_jobs(4);
+    let parallel: Vec<String> = runner::par_map(nps, |np| pooled_ring_run(np).metrics.render());
+    runner::set_jobs(0);
+    assert_eq!(
+        serial, parallel,
+        "pooled-path metrics must not depend on the worker count"
+    );
+}
+
 #[test]
 fn fault_injected_outcome_is_bit_identical_across_repeats() {
     // Fault injection must not break replayability: the injector draws

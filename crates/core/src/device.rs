@@ -23,7 +23,8 @@ use crate::protocol::{Header, MsgKind, HEADER_LEN};
 use crate::request::{SendMode, Status};
 use crate::trace::{Span, SpanKind};
 use std::collections::{HashMap, VecDeque};
-use viampi_sim::{Registry, SimDuration, SimTime};
+use viampi_sim::{BufferPool, Registry, SimDuration, SimTime};
+use viampi_via::fabric::{Bytes, OobBytes};
 use viampi_via::{CompletionKind, Discriminator, MemHandle, ViId, ViState, ViaError, ViaPort};
 
 /// The MPI device's metric set (`mpi.*` entries of the cross-layer
@@ -81,10 +82,13 @@ enum SlotUse {
 
 /// A queued outgoing wire message (the pre-posted send FIFO of §3.4 plus
 /// credit/staging stalls share this queue; order is preserved per peer).
+/// The frame is the full pooled wire buffer — `HEADER_LEN` placeholder
+/// bytes (encoded late, so piggybacked credits are current at transmit
+/// time) followed by the payload, already copied exactly once.
 #[derive(Debug)]
 struct OutMsg {
     header: Header,
-    payload: Vec<u8>,
+    frame: Bytes,
 }
 
 /// Per-peer channel.
@@ -162,14 +166,6 @@ impl Channel {
             (slot % self.chunk) * bsz,
         )
     }
-
-    /// Resolve a send staging slot to `(region, offset)`.
-    fn send_slot(&self, slot: usize, bsz: usize) -> (MemHandle, usize) {
-        (
-            self.send_regions[slot / self.chunk],
-            (slot % self.chunk) * bsz,
-        )
-    }
 }
 
 /// Internal request record.
@@ -178,9 +174,10 @@ struct ReqState {
     /// Completed with an error (peer unreachable) rather than a result.
     failed: bool,
     status: Status,
-    /// Recv: completed payload. Send (rendezvous): retained user data until
-    /// the CTS arrives.
-    data: Option<Vec<u8>>,
+    /// Recv: completed payload (the pooled wire frame, delivered by
+    /// reference). Send (rendezvous): retained user data until the CTS
+    /// arrives.
+    data: Option<Bytes>,
     /// Recv rendezvous landing region (registered at CTS time).
     rndv_mem: Option<MemHandle>,
     /// Recv rendezvous expected length; on sends, the rendezvous payload
@@ -257,6 +254,9 @@ pub struct Device {
     /// MPI-level counters (`mpi.*`). Always enabled: the device reads its
     /// own accounting back through [`Device::stats`].
     pub metrics: Registry,
+    /// Handle to the fabric's shared wire-buffer pool (cached so hot paths
+    /// don't take the world lock just to allocate a frame).
+    pool: BufferPool,
 }
 
 /// Staging slots currently in flight (capacity minus free).
@@ -273,6 +273,7 @@ impl Device {
     /// Build the device; does **not** perform `MPI_Init` connection setup
     /// (see [`Device::init`]).
     pub fn new(port: ViaPort, rank: usize, size: usize, cfg: MpiConfig) -> Self {
+        let pool = port.pool();
         Device {
             rank,
             size,
@@ -288,6 +289,7 @@ impl Device {
             trace: Vec::new(),
             spans: Vec::new(),
             metrics: mpi_metrics::registry(),
+            pool,
         }
     }
 
@@ -385,16 +387,20 @@ impl Device {
                 let (_from, _data) = self.port.oob_recv();
                 seen += 1;
             }
-            let table: Vec<u8> = (0..self.size as u32)
+            // Build the table once and broadcast a shared handle: the oob
+            // layer clones an `Arc`, not the table bytes, so the root's
+            // init-time cost scales with one table, not `size` copies.
+            let table: OobBytes = (0..self.size as u32)
                 .flat_map(|r| r.to_le_bytes())
-                .collect();
+                .collect::<Vec<u8>>()
+                .into();
             for r in 1..self.size {
-                self.port.oob_send(r, table.clone());
+                self.port.oob_send_shared(r, table.clone());
             }
         } else {
             self.port
                 .oob_send(0, (self.rank as u32).to_le_bytes().to_vec());
-            let _ = self.port.oob_recv();
+            let _ = self.port.oob_recv_shared();
         }
     }
 
@@ -686,7 +692,7 @@ impl Device {
                         tag,
                         len: data.len(),
                     };
-                    r.data = Some(data.to_vec());
+                    r.data = Some(self.pool.from_slice(data));
                     r.done = true;
                 }
                 None => {
@@ -694,7 +700,7 @@ impl Device {
                         context,
                         src: self.rank as u32,
                         tag,
-                        body: UnexpectedBody::Eager(data.to_vec()),
+                        body: UnexpectedBody::Eager(self.pool.from_slice(data)),
                     });
                 }
             }
@@ -712,7 +718,7 @@ impl Device {
             });
             {
                 let r = self.reqs.get_mut(&req).unwrap();
-                r.data = Some(data.to_vec());
+                r.data = Some(self.pool.from_slice(data));
                 r.rndv_len = data.len();
                 if self.cfg.trace {
                     r.rndv_begin = Some(self.port.ctx().now());
@@ -728,7 +734,8 @@ impl Device {
                 aux2: data.len() as u64,
                 len: 0,
             };
-            self.enqueue_wire(dst, header, Vec::new());
+            let frame = self.pool.alloc(HEADER_LEN);
+            self.enqueue_wire(dst, header, frame);
         } else {
             self.metrics.inc(mpi_metrics::EAGER_SENT);
             self.metrics
@@ -743,7 +750,11 @@ impl Device {
                 aux2: 0,
                 len: data.len() as u32,
             };
-            self.enqueue_wire(dst, header, data.to_vec());
+            // The single copy of the eager path: user buffer → pooled wire
+            // frame (header placeholder + payload). Everything downstream
+            // hands this frame around by reference.
+            let frame = self.pool.prefixed(HEADER_LEN, data);
+            self.enqueue_wire(dst, header, frame);
             if mode == SendMode::Buffered {
                 // Buffered sends are local: payload captured, complete now.
                 let r = self.reqs.get_mut(&req).unwrap();
@@ -845,15 +856,17 @@ impl Device {
             aux2: Header::pack_cts(rreq, mem.0),
             len: 0,
         };
-        self.enqueue_wire(src, header, Vec::new());
+        let frame = self.pool.alloc(HEADER_LEN);
+        self.enqueue_wire(src, header, frame);
     }
 
     // =====================================================================
     // Outgoing wire queue (pre-posted send FIFO + credit/slot stalls)
     // =====================================================================
 
-    /// Queue a wire message for `peer` and try to drain.
-    fn enqueue_wire(&mut self, peer: usize, header: Header, payload: Vec<u8>) {
+    /// Queue a wire message for `peer` and try to drain. `frame` is the
+    /// full pooled wire buffer: `HEADER_LEN` placeholder bytes + payload.
+    fn enqueue_wire(&mut self, peer: usize, header: Header, frame: Bytes) {
         if self.channels[peer].state == ChanState::Unconnected {
             if self.cfg.conn == ConnMode::OnDemand {
                 self.setup_channel(peer);
@@ -877,9 +890,7 @@ impl Device {
         if self.channels[peer].state != ChanState::Connected {
             self.metrics.inc(mpi_metrics::FIFO_DEFERRED_SENDS);
         }
-        self.channels[peer]
-            .outq
-            .push_back(OutMsg { header, payload });
+        self.channels[peer].outq.push_back(OutMsg { header, frame });
         self.try_drain(peer);
     }
 
@@ -908,42 +919,34 @@ impl Device {
                 break;
             }
             let msg = self.channels[peer].outq.pop_front().unwrap();
-            self.send_wire(peer, msg.header, &msg.payload);
+            self.send_wire(peer, msg.header, msg.frame);
         }
     }
 
     /// Transmit one wire message on `peer`'s VI, consuming a credit and a
     /// staging slot, and piggybacking owed credit returns.
-    fn send_wire(&mut self, peer: usize, mut header: Header, payload: &[u8]) {
-        let bsz0 = self.cfg.buf_size;
-        let (vi, send_mem, send_off, slot, piggy) = {
+    fn send_wire(&mut self, peer: usize, mut header: Header, mut frame: Bytes) {
+        let (vi, slot, piggy) = {
             let ch = &mut self.channels[peer];
             debug_assert_eq!(ch.state, ChanState::Connected);
             let slot = ch.free_send_slots.pop().expect("caller checked slots");
             let piggy = ch.credits_owed.min(255);
             ch.credits_owed -= piggy;
             ch.credits -= 1;
-            let (mem, off) = ch.send_slot(slot, bsz0);
-            (ch.vi.unwrap(), mem, off, slot, piggy)
+            (ch.vi.unwrap(), slot, piggy)
         };
         header.credits = piggy as u8;
-        let bsz = self.cfg.buf_size;
-        let total = HEADER_LEN + payload.len();
-        debug_assert!(total <= bsz, "wire message exceeds buffer");
-        let mut buf = vec![0u8; total];
-        header.encode(&mut buf);
-        buf[HEADER_LEN..].copy_from_slice(payload);
+        let total = frame.len();
+        debug_assert!(total <= self.cfg.buf_size, "wire message exceeds buffer");
+        // Late header encode, in place in the pooled frame (credits are
+        // piggybacked at transmit time, so this cannot happen at enqueue).
+        header.encode(frame.unique_mut().expect("queued frame is sole handle"));
         // The staging copy: charged for the payload (the header is free —
-        // MVICH builds it in place in the descriptor).
+        // MVICH builds it in place in the descriptor). The physical copy
+        // already happened once at enqueue; only its time is charged here.
         self.port
-            .charge(self.port.profile().copy_time(payload.len()));
-        self.port
-            .mem_fill(send_mem, send_off, &buf)
-            .expect("staging write");
-        let desc = self
-            .port
-            .post_send(vi, send_mem, send_off, total, 0)
-            .expect("post send");
+            .charge(self.port.profile().copy_time(total - HEADER_LEN));
+        let desc = self.port.post_send_pooled(vi, frame, 0).expect("post send");
         self.trace(crate::trace::TraceKind::WireSent { peer, bytes: total });
         let sreq = match header.kind {
             MsgKind::Eager => Some(header.aux1),
@@ -962,7 +965,9 @@ impl Device {
         // then a FIN control message completes the receiver. In-order VI
         // delivery guarantees FIN arrives after the data.
         let mem = self.port.register(data.len().max(1)).expect("pin send buf");
-        self.port.mem_fill(mem, 0, &data).expect("zero-copy fill");
+        self.port
+            .mem_fill(mem, 0, data.as_slice())
+            .expect("zero-copy fill");
         let vi = self.channels[peer].vi.unwrap();
         let desc = self
             .port
@@ -981,7 +986,8 @@ impl Device {
             aux2: 0,
             len: 0,
         };
-        self.enqueue_wire(peer, header, Vec::new());
+        let frame = self.pool.alloc(HEADER_LEN);
+        self.enqueue_wire(peer, header, frame);
     }
 
     // =====================================================================
@@ -1002,7 +1008,10 @@ impl Device {
             match c.kind {
                 CompletionKind::Send => self.on_send_complete(peer, c.desc.0),
                 CompletionKind::RdmaWrite => self.on_rdma_complete(peer, c.desc.0),
-                CompletionKind::Recv => self.on_recv_complete(peer, c.len),
+                CompletionKind::Recv => {
+                    let frame = c.payload.expect("wire recv carries its pooled frame");
+                    self.on_recv_complete(peer, frame);
+                }
             }
         }
 
@@ -1143,7 +1152,8 @@ impl Device {
                     len: 0,
                 };
                 self.metrics.inc(mpi_metrics::CREDIT_MSGS);
-                self.send_wire(peer, header, &[]);
+                let frame = self.pool.alloc(HEADER_LEN);
+                self.send_wire(peer, header, frame);
             }
         }
     }
@@ -1194,8 +1204,10 @@ impl Device {
         }
     }
 
-    /// Process one arrived wire message on `peer`'s channel.
-    fn on_recv_complete(&mut self, peer: usize, len: usize) {
+    /// Process one arrived wire message on `peer`'s channel. The frame is
+    /// the pooled wire buffer the sender transmitted, delivered by
+    /// reference — no copy out of the VI buffer is needed.
+    fn on_recv_complete(&mut self, peer: usize, frame: Bytes) {
         let bsz = self.cfg.buf_size;
         let (recv_mem, recv_off, vi, slot) = {
             let ch = &mut self.channels[peer];
@@ -1206,10 +1218,6 @@ impl Device {
             let (mem, off) = ch.recv_slot(slot, bsz);
             (mem, off, ch.vi.unwrap(), slot)
         };
-        let bytes = self
-            .port
-            .mem_peek(recv_mem, recv_off, len)
-            .expect("read arrived message");
         // Repost the buffer immediately (MVICH does this before protocol
         // processing so the credit can be returned).
         self.port
@@ -1227,14 +1235,18 @@ impl Device {
         if want_grow {
             self.grow_recv_pool(peer);
         }
-        let header = Header::decode(&bytes).expect("valid wire header");
+        let header = Header::decode(&frame).expect("valid wire header");
         if header.credits > 0 {
             self.channels[peer].credits += header.credits as usize;
             self.try_drain(peer);
         }
         match header.kind {
             MsgKind::Eager => {
-                let payload = &bytes[HEADER_LEN..HEADER_LEN + header.len as usize];
+                // Narrow the frame view past the header — no copy; the
+                // pooled buffer itself becomes the delivered payload.
+                let mut payload = frame;
+                payload.advance(HEADER_LEN);
+                payload.truncate(header.len as usize);
                 match self
                     .matcher
                     .incoming(header.context, header.src, header.tag)
@@ -1244,7 +1256,9 @@ impl Device {
                             src: header.src as usize,
                             bytes: payload.len(),
                         });
-                        // Copy out of the VI buffer into the user buffer.
+                        // The copy out of the VI buffer into the user buffer
+                        // still costs virtual time even though the host-side
+                        // copy is gone.
                         self.port
                             .charge(self.port.profile().copy_time(payload.len()));
                         let r = self.reqs.get_mut(&posted.req).unwrap();
@@ -1253,19 +1267,20 @@ impl Device {
                             tag: header.tag,
                             len: payload.len(),
                         };
-                        r.data = Some(payload.to_vec());
+                        r.data = Some(payload);
                         r.done = true;
                     }
                     None => {
                         self.metrics.inc(mpi_metrics::UNEXPECTED_MSGS);
-                        // Copy into the unexpected pool.
+                        // The copy into the unexpected pool is likewise a
+                        // charge only; the frame is parked by reference.
                         self.port
                             .charge(self.port.profile().copy_time(payload.len()));
                         self.matcher.push_unexpected(Unexpected {
                             context: header.context,
                             src: header.src,
                             tag: header.tag,
-                            body: UnexpectedBody::Eager(payload.to_vec()),
+                            body: UnexpectedBody::Eager(payload),
                         });
                     }
                 }
@@ -1308,7 +1323,10 @@ impl Device {
                     (r.rndv_mem.unwrap(), r.rndv_len)
                 };
                 // Zero-copy: the landing region *is* the user buffer.
-                let data = self.port.mem_peek(mem, 0, mlen).expect("read rndv data");
+                let data = self
+                    .port
+                    .mem_peek_pooled(mem, 0, mlen)
+                    .expect("read rndv data");
                 self.port.deregister(mem).expect("deregister rndv buf");
                 let r = self.reqs.get_mut(&rreq).unwrap();
                 r.data = Some(data);
@@ -1444,7 +1462,10 @@ impl Device {
              (use wait_checked to handle this error)",
             r.peer
         );
-        (r.data, r.status)
+        // A uniquely-held full-range frame gives up its allocation without
+        // copying; a windowed view (eager payload past its header) copies
+        // exactly once here — the user-buffer copy already charged.
+        (r.data.map(Bytes::into_vec), r.status)
     }
 
     /// Consume a completed request, surfacing a connection failure as an
@@ -1458,7 +1479,7 @@ impl Device {
         if r.failed {
             return Err(crate::request::MpiError::PeerUnreachable { peer: r.peer });
         }
-        Ok((r.data, r.status))
+        Ok((r.data.map(Bytes::into_vec), r.status))
     }
 
     /// Number of live (incomplete or uncollected) requests.

@@ -11,6 +11,7 @@
 //!   guarantee of MPI §3.5 that the paper's pre-posted-send FIFO preserves.
 
 use std::collections::VecDeque;
+use viampi_sim::PooledBuf;
 
 /// A receive waiting for a message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,8 +37,9 @@ impl PostedRecv {
 /// Payload of a message that arrived before its receive was posted.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum UnexpectedBody {
-    /// Eager data, already copied out of the VI buffer.
-    Eager(Vec<u8>),
+    /// Eager data, carried by reference in its pooled wire frame (the view
+    /// starts past the header; no copy was made to park it here).
+    Eager(PooledBuf),
     /// A rendezvous RTS awaiting a matching receive before CTS is sent.
     Rts {
         /// Sender's request id (echoed in the CTS).
@@ -147,7 +149,7 @@ mod tests {
             context: 0,
             src,
             tag,
-            body: UnexpectedBody::Eager(vec![byte]),
+            body: UnexpectedBody::Eager(vec![byte].into()),
         }
     }
 
@@ -212,9 +214,13 @@ mod tests {
         m.push_unexpected(eager(0, 1, 0xA));
         m.push_unexpected(eager(0, 1, 0xB));
         let u = m.post_recv(recv(1, Some(0), Some(1))).unwrap();
-        assert_eq!(u.body, UnexpectedBody::Eager(vec![0xA]), "oldest first");
+        assert_eq!(
+            u.body,
+            UnexpectedBody::Eager(vec![0xA].into()),
+            "oldest first"
+        );
         let u = m.post_recv(recv(2, Some(0), Some(1))).unwrap();
-        assert_eq!(u.body, UnexpectedBody::Eager(vec![0xB]));
+        assert_eq!(u.body, UnexpectedBody::Eager(vec![0xB].into()));
         assert_eq!(m.unexpected_len(), 0);
     }
 

@@ -213,6 +213,10 @@ impl Universe {
             metrics.merge(&r.metrics);
         }
         metrics.merge(&fault_stats.metrics_snapshot());
+        // The wire-buffer pool is fabric-global, so its counters are
+        // published once per run here, not per rank (a per-rank snapshot
+        // would multiply them under the Add merge).
+        metrics.merge(&fabric.pool_metrics_snapshot());
         Ok(RunReport {
             results,
             ranks,

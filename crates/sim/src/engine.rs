@@ -702,6 +702,12 @@ impl<W: World> Engine<W> {
             reg.add(em::EVENTS, inner.events_processed);
             reg.add(em::FAST_RESUMES, inner.fast_resumes);
             reg.add(em::EVENTS_SCHEDULED, inner.queue.scheduled_total());
+            let ws = inner.queue.wheel_stats();
+            reg.add(em::WHEEL_DUE, ws.push_due);
+            reg.add(em::WHEEL_L0, ws.push_l0);
+            reg.add(em::WHEEL_L1, ws.push_l1);
+            reg.add(em::WHEEL_OVERFLOW, ws.push_overflow);
+            reg.add(em::WHEEL_CASCADES, ws.cascades);
             reg.gauge_max(em::READY_PEAK, inner.ready.peak as u64);
             reg.gauge_max(em::QUEUE_PEAK, inner.queue.peak() as u64);
             reg.snapshot()

@@ -49,6 +49,7 @@
 mod engine;
 mod error;
 pub mod metrics;
+pub mod pool;
 mod queue;
 mod rng;
 pub mod sync;
@@ -57,6 +58,7 @@ mod time;
 pub use engine::{engine_totals, Api, Engine, EngineTotals, Outcome, ProcCtx, ProcId, World};
 pub use error::{BlockedProc, SimError};
 pub use metrics::{MetricEntry, MetricsSnapshot, Registry};
-pub use queue::EventQueue;
+pub use pool::{BufferPool, PoolStats, PooledBuf, Slab};
+pub use queue::{EventQueue, WheelStats};
 pub use rng::SplitMix64;
 pub use time::{SimDuration, SimTime};

@@ -138,6 +138,11 @@ pub mod engine {
             EVENTS => "sim.events": "World events processed",
             FAST_RESUMES => "sim.fast_resumes": "Token passes short-circuited by the self-resume fast path",
             EVENTS_SCHEDULED => "sim.events_scheduled": "Events ever pushed on the event queue",
+            WHEEL_DUE => "sim.wheel.push_due": "Events merged straight into the sorted due buffer",
+            WHEEL_L0 => "sim.wheel.push_l0": "Events filed in a level-0 wheel slot",
+            WHEEL_L1 => "sim.wheel.push_l1": "Events filed in a level-1 wheel slot",
+            WHEEL_OVERFLOW => "sim.wheel.push_overflow": "Events parked in the far-future overflow heap",
+            WHEEL_CASCADES => "sim.wheel.cascades": "Level-1/overflow slot cascades into level 0",
         }
         gauges {
             READY_PEAK => "sim.ready_peak": "Peak ready-heap depth",

@@ -20,11 +20,26 @@ use crate::types::{
     Completion, CompletionKind, CsRequest, DescId, Discriminator, MemHandle, NodeId, PeerRequest,
     ViId, ViState, ViaError,
 };
-use viampi_sim::{Api, SimDuration, World};
+use viampi_sim::{Api, BufferPool, PoolStats, SimDuration, World};
 
-/// Cheaply clonable immutable payload bytes (internal replacement for the
-/// `bytes` crate, which is unavailable in the offline build environment).
-pub type Bytes = std::sync::Arc<[u8]>;
+/// Cheaply clonable payload bytes: a ref-counted view into a pooled
+/// allocation (internal replacement for the `bytes` crate, which is
+/// unavailable in the offline build environment). Dropping the last handle
+/// recycles the backing buffer into the fabric's [`BufferPool`].
+pub type Bytes = viampi_sim::PooledBuf;
+
+/// Cheaply clonable out-of-band payload: one allocation shared by every
+/// recipient of a bootstrap broadcast.
+pub type OobBytes = std::sync::Arc<[u8]>;
+
+/// A framed wire message: header + payload in one pooled buffer, copied
+/// once at the sender and handed by reference through the NIC, switch, and
+/// receive completion.
+#[derive(Debug, Clone)]
+pub struct WireMsg {
+    /// Full frame bytes (wire header followed by payload), pooled.
+    pub data: Bytes,
+}
 
 /// Payload of an in-flight message.
 #[derive(Debug, Clone)]
@@ -33,6 +48,16 @@ pub enum PacketBody {
     Send {
         /// Message bytes.
         data: Bytes,
+        /// Immediate word delivered in the completion.
+        imm: u32,
+    },
+    /// Two-sided framed send on the zero-copy path: consumes a receive
+    /// descriptor at the target, but the frame is delivered by reference in
+    /// [`Completion::payload`] instead of being copied into the descriptor's
+    /// registered region.
+    Wire {
+        /// The framed message.
+        msg: WireMsg,
         /// Immediate word delivered in the completion.
         imm: u32,
     },
@@ -127,8 +152,8 @@ pub enum FabricEvent {
         dst: NodeId,
         /// Source node.
         from: NodeId,
-        /// Payload.
-        data: Vec<u8>,
+        /// Payload (shared, so a broadcast clones a pointer, not bytes).
+        data: OobBytes,
     },
 }
 
@@ -145,6 +170,8 @@ pub struct Fabric {
     /// (see [`crate::fault`]). `None` (the default) means a perfectly
     /// reliable connection path — the behaviour of every experiment run.
     faults: Option<FaultInjector>,
+    /// Shared wire-buffer pool for the zero-copy data plane.
+    pool: BufferPool,
 }
 
 impl Fabric {
@@ -155,7 +182,33 @@ impl Fabric {
             nics: (0..nodes).map(Nic::new).collect(),
             oob_latency: SimDuration::micros(120),
             faults: None,
+            pool: BufferPool::new(),
         }
+    }
+
+    /// A handle to the fabric's shared wire-buffer pool.
+    pub fn pool(&self) -> BufferPool {
+        self.pool.clone()
+    }
+
+    /// Snapshot of the wire-buffer pool counters.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// The pool counters rendered as `nic.pool.*` metric entries, for
+    /// merging into a whole-run snapshot. Published once per run (the pool
+    /// is fabric-global, so per-rank publication would multiply counts).
+    pub fn pool_metrics_snapshot(&self) -> viampi_sim::MetricsSnapshot {
+        let s = self.pool.stats();
+        let mut reg = nic_metrics::registry();
+        reg.add(nic_metrics::POOL_HITS, s.hits);
+        reg.add(nic_metrics::POOL_MISSES, s.misses);
+        reg.add(nic_metrics::POOL_RECYCLED, s.recycled);
+        reg.add(nic_metrics::POOL_DISCARDED, s.discarded);
+        reg.gauge_set(nic_metrics::POOL_LIVE, s.live);
+        reg.gauge_set(nic_metrics::POOL_LIVE_PEAK, s.live_peak);
+        reg.snapshot()
     }
 
     /// Install a fault-injection profile (replaces any previous one and
@@ -231,7 +284,9 @@ impl Fabric {
             }
             v.peer.expect("connected VI has a peer")
         };
-        let data = Bytes::from(&self.nics[node].regions[mem.0 as usize].data[off..off + len]);
+        let data = self
+            .pool
+            .from_slice(&self.nics[node].regions[mem.0 as usize].data[off..off + len]);
         let desc = self.nics[node].alloc_desc();
         self.launch(
             api,
@@ -242,6 +297,50 @@ impl Fabric {
                 src: (node, vi),
                 dst: peer,
                 body: PacketBody::Send { data, imm },
+            },
+        );
+        Ok(desc)
+    }
+
+    /// Post a pooled framed send on `vi` — the zero-copy data plane. The
+    /// frame is not staged in a registered region: `data` travels by
+    /// reference and surfaces in [`Completion::payload`] at the receiver.
+    /// Costs (doorbell, serialization, wire, receive processing) are
+    /// identical to [`Fabric::post_send`] for the same byte count.
+    ///
+    /// As with `post_send`, a frame posted on an unconnected VI is
+    /// discarded: the call succeeds, no completion is ever generated, and
+    /// `drops_unconnected` is incremented.
+    pub fn post_send_pooled(
+        &mut self,
+        api: &mut Api<'_, FabricEvent>,
+        node: NodeId,
+        vi: ViId,
+        data: Bytes,
+        imm: u32,
+    ) -> Result<DescId, ViaError> {
+        let peer = {
+            let v = self.nics[node].vi(vi)?;
+            if !v.state.is_connected() {
+                let desc = self.nics[node].alloc_desc();
+                self.nics[node].metrics.inc(nic_metrics::DROPS_UNCONNECTED);
+                return Ok(desc);
+            }
+            v.peer.expect("connected VI has a peer")
+        };
+        let desc = self.nics[node].alloc_desc();
+        self.launch(
+            api,
+            node,
+            vi,
+            desc,
+            Packet {
+                src: (node, vi),
+                dst: peer,
+                body: PacketBody::Wire {
+                    msg: WireMsg { data },
+                    imm,
+                },
             },
         );
         Ok(desc)
@@ -269,7 +368,9 @@ impl Fabric {
             }
             v.peer.expect("connected VI has a peer")
         };
-        let data = Bytes::from(&self.nics[node].regions[mem.0 as usize].data[off..off + len]);
+        let data = self
+            .pool
+            .from_slice(&self.nics[node].regions[mem.0 as usize].data[off..off + len]);
         let desc = self.nics[node].alloc_desc();
         self.launch(
             api,
@@ -301,10 +402,11 @@ impl Fabric {
     ) {
         let bytes = match &pkt.body {
             PacketBody::Send { data, .. } => data.len(),
+            PacketBody::Wire { msg, .. } => msg.data.len(),
             PacketBody::Rdma { data, .. } => data.len(),
         };
         let kind = match &pkt.body {
-            PacketBody::Send { .. } => CompletionKind::Send,
+            PacketBody::Send { .. } | PacketBody::Wire { .. } => CompletionKind::Send,
             PacketBody::Rdma { .. } => CompletionKind::RdmaWrite,
         };
         let nic = &mut self.nics[node];
@@ -656,6 +758,19 @@ impl Fabric {
         to: NodeId,
         data: Vec<u8>,
     ) {
+        self.oob_send_shared(api, from, to, OobBytes::from(data));
+    }
+
+    /// Send an out-of-band message whose payload is already shared — a
+    /// broadcast sends the same allocation to every recipient, so bootstrap
+    /// cost scales with the table size, not `ranks × table size`.
+    pub fn oob_send_shared(
+        &mut self,
+        api: &mut Api<'_, FabricEvent>,
+        from: NodeId,
+        to: NodeId,
+        data: OobBytes,
+    ) {
         // Model a TCP-ish channel: fixed latency plus ~12 B/us.
         let lat = self.oob_latency + SimDuration::micros_f64(data.len() as f64 / 12.0);
         api.schedule(
@@ -688,6 +803,7 @@ impl World for Fabric {
                     desc,
                     len: 0,
                     imm: 0,
+                    payload: None,
                 });
                 nic.bump_activity(&mut wake);
             }
@@ -720,6 +836,41 @@ impl World for Fabric {
                             desc: rd.desc,
                             len: data.len(),
                             imm,
+                            payload: None,
+                        });
+                        nic.bump_activity(&mut wake);
+                    }
+                    PacketBody::Wire { msg, imm } => {
+                        // Zero-copy delivery: the frame consumes a receive
+                        // descriptor (flow control and sizing behave exactly
+                        // like `Send`) but travels by reference into the
+                        // completion instead of through the descriptor's
+                        // registered region.
+                        let nic = &mut self.nics[dst_node];
+                        let Ok(vi) = nic.vi_mut(dst_vi) else {
+                            nic.metrics.inc(nic_metrics::DROPS_NO_DESC);
+                            return;
+                        };
+                        let Some(rd) = vi.recv_q.front().copied() else {
+                            nic.metrics.inc(nic_metrics::DROPS_NO_DESC);
+                            return;
+                        };
+                        if rd.len < msg.data.len() {
+                            nic.metrics.inc(nic_metrics::DROPS_TOO_BIG);
+                            return;
+                        }
+                        vi.recv_q.pop_front();
+                        vi.msgs_recvd += 1;
+                        nic.metrics.inc(nic_metrics::MSGS_RX);
+                        nic.metrics
+                            .add(nic_metrics::BYTES_RX, msg.data.len() as u64);
+                        nic.cq.push_back(Completion {
+                            vi: dst_vi,
+                            kind: CompletionKind::Recv,
+                            desc: rd.desc,
+                            len: msg.data.len(),
+                            imm,
+                            payload: Some(msg.data),
                         });
                         nic.bump_activity(&mut wake);
                     }

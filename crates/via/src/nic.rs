@@ -28,11 +28,17 @@ pub mod nic_metrics {
             DROPS_TOO_BIG => "nic.drops_too_big": "Arrivals dropped into a too-small buffer",
             DROPS_RDMA => "nic.drops_rdma": "RDMA writes dropped for addressing errors",
             DESCS_POSTED => "nic.descs_posted": "Descriptors posted (sends + receives + RDMA)",
+            POOL_HITS => "nic.pool.hits": "Wire-buffer allocations served from a free list",
+            POOL_MISSES => "nic.pool.misses": "Wire-buffer allocations that touched the system allocator",
+            POOL_RECYCLED => "nic.pool.recycled": "Wire buffers returned to a free list on final drop",
+            POOL_DISCARDED => "nic.pool.discarded": "Wire buffers not retained (oversize, full list, or exported)",
         }
         gauges {
             VIS_PEAK => "nic.vis_peak": "Peak simultaneously-live VIs",
             PINNED_NOW => "nic.pinned_now": "Currently pinned bytes",
             PINNED_PEAK => "nic.pinned_peak": "Peak pinned bytes",
+            POOL_LIVE => "nic.pool.live": "Pooled wire buffers live at snapshot time",
+            POOL_LIVE_PEAK => "nic.pool.live_peak": "Peak simultaneously-live pooled wire buffers",
         }
         hists {
             TX_BYTES => "nic.tx_bytes": "Per-packet transmit size distribution",
@@ -175,7 +181,7 @@ pub struct Nic {
     /// Next client/server request id.
     pub next_cs_id: u64,
     /// Out-of-band (process-manager) mailbox: `(from, payload)`.
-    pub oob: VecDeque<(NodeId, Vec<u8>)>,
+    pub oob: VecDeque<(NodeId, crate::fabric::OobBytes)>,
     /// Resource counters ([`nic_metrics`] set). Always enabled: the pin
     /// limit and the live-VI limit read their own accounting back.
     pub metrics: Registry,

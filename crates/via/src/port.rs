@@ -131,6 +131,52 @@ impl ViaPort {
         })
     }
 
+    /// Borrow variant of [`ViaPort::mem_peek`]: run `f` over the region
+    /// bytes in place, with no intermediate `Vec` and no copy charge.
+    pub fn mem_peek_with<R>(
+        &self,
+        h: MemHandle,
+        off: usize,
+        len: usize,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> Result<R, ViaError> {
+        let node = self.node;
+        self.ctx.with_world(|w, _| {
+            w.nics[node].check_bounds(h, off, len)?;
+            Ok(f(&w.nics[node].regions[h.0 as usize].data[off..off + len]))
+        })
+    }
+
+    /// Borrow variant of [`ViaPort::mem_read`]: charges memcpy time (the
+    /// host really does copy), then hands the region bytes to `f` in place
+    /// so the destination can be written directly.
+    pub fn mem_read_with<R>(
+        &self,
+        h: MemHandle,
+        off: usize,
+        len: usize,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> Result<R, ViaError> {
+        self.ctx.advance(self.profile.copy_time(len));
+        self.mem_peek_with(h, off, len, f)
+    }
+
+    /// Copy a registered region's bytes into a pooled buffer (no copy
+    /// charge; the caller charges protocol costs as appropriate).
+    pub fn mem_peek_pooled(
+        &self,
+        h: MemHandle,
+        off: usize,
+        len: usize,
+    ) -> Result<crate::fabric::Bytes, ViaError> {
+        let node = self.node;
+        self.ctx.with_world(|w, _| {
+            w.nics[node].check_bounds(h, off, len)?;
+            Ok(w.pool()
+                .from_slice(&w.nics[node].regions[h.0 as usize].data[off..off + len]))
+        })
+    }
+
     // ---- data transfer ------------------------------------------------------
 
     /// `VipPostSend`. On an unconnected VI the payload is silently discarded
@@ -147,6 +193,26 @@ impl ViaPort {
         let node = self.node;
         self.ctx
             .with_world(|f, api| f.post_send(api, node, vi, mem, off, len, imm))
+    }
+
+    /// `VipPostSend` on the zero-copy wire path: the pooled frame travels
+    /// by reference and surfaces in [`Completion::payload`] at the
+    /// receiver. Charges exactly what [`ViaPort::post_send`] charges.
+    pub fn post_send_pooled(
+        &self,
+        vi: ViId,
+        data: crate::fabric::Bytes,
+        imm: u32,
+    ) -> Result<DescId, ViaError> {
+        self.ctx.advance(self.profile.post_send);
+        let node = self.node;
+        self.ctx
+            .with_world(|f, api| f.post_send_pooled(api, node, vi, data, imm))
+    }
+
+    /// A handle to the fabric's shared wire-buffer pool.
+    pub fn pool(&self) -> viampi_sim::BufferPool {
+        self.ctx.with_world(|f, _| f.pool())
     }
 
     /// `VipPostRecv`.
@@ -348,14 +414,33 @@ impl ViaPort {
             .with_world(|f, api| f.oob_send(api, node, to, data));
     }
 
+    /// Send a process-manager message whose payload is already shared —
+    /// broadcasting the same `Arc` to every rank costs one allocation total.
+    pub fn oob_send_shared(&self, to: NodeId, data: crate::fabric::OobBytes) {
+        let node = self.node;
+        self.ctx
+            .with_world(|f, api| f.oob_send_shared(api, node, to, data));
+    }
+
     /// Non-blocking OOB receive.
     pub fn oob_try_recv(&self) -> Option<(NodeId, Vec<u8>)> {
+        self.oob_try_recv_shared().map(|(n, d)| (n, d.to_vec()))
+    }
+
+    /// Non-blocking OOB receive of the shared payload (no copy).
+    pub fn oob_try_recv_shared(&self) -> Option<(NodeId, crate::fabric::OobBytes)> {
         let node = self.node;
         self.ctx.with_world(|f, _| f.nics[node].oob.pop_front())
     }
 
     /// Blocking OOB receive.
     pub fn oob_recv(&self) -> (NodeId, Vec<u8>) {
+        let (n, d) = self.oob_recv_shared();
+        (n, d.to_vec())
+    }
+
+    /// Blocking OOB receive of the shared payload (no copy).
+    pub fn oob_recv_shared(&self) -> (NodeId, crate::fabric::OobBytes) {
         let node = self.node;
         let pid = self.ctx.pid();
         self.ctx.block_on(move |f, _| {
@@ -835,7 +920,7 @@ mod tests {
             });
             let (fabric, _) = eng.run().unwrap();
             let (_, data) = fabric.nics[0].oob.front().cloned().unwrap();
-            u64::from_le_bytes(data.try_into().unwrap())
+            u64::from_le_bytes(data[..].try_into().unwrap())
         };
         let base = run(0);
         let loaded = run(8);

@@ -12,6 +12,14 @@ echo "== measuring hot paths (bench_hotpaths -> bench_hotpaths_current)"
 cargo bench -q --offline --locked -p viampi-bench --bench hotpaths -- \
     --json-out bench_hotpaths_current
 
+echo "== checking required benches are present"
+for b in eager_pingpong_pooled queue_wheel_1k; do
+    grep -q "\"$b\"" results/bench_hotpaths_current.json || {
+        echo "perf_gate: required bench '$b' missing from current record" >&2
+        exit 1
+    }
+done
+
 echo "== comparing against the committed baseline"
 cargo run -q --release --offline --locked -p viampi-bench --bin perf_gate -- \
     --baseline results/bench_hotpaths_baseline.json \

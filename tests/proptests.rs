@@ -129,7 +129,7 @@ fn matching_agrees_with_reference() {
                 // Compare by the unexpected message identity (stored in
                 // the eager payload).
                 let got_uid = got.map(|u| match u.body {
-                    UnexpectedBody::Eager(d) => u64::from_le_bytes(d.try_into().unwrap()),
+                    UnexpectedBody::Eager(d) => u64::from_le_bytes(d[..].try_into().unwrap()),
                     _ => unreachable!(),
                 });
                 assert_eq!(got_uid, want, "case {case}");
@@ -146,7 +146,7 @@ fn matching_agrees_with_reference() {
                         context: 0,
                         src,
                         tag,
-                        body: UnexpectedBody::Eager(uid.to_le_bytes().to_vec()),
+                        body: UnexpectedBody::Eager(uid.to_le_bytes().to_vec().into()),
                     });
                 }
             }
