@@ -6,30 +6,47 @@
 //!
 //! ```text
 //! simcheck [--seeds N] [--start S] [--fault none|light|heavy] [--jobs J]
-//! simcheck --replay SEED [--fault ...]
+//! simcheck --replay KEY [--fault ...]
+//! simcheck --campaign STATE.json [--seeds BUDGET] [--timebox SECS]
+//!          [--fault ...] [--jobs J] [--corpus FILE] [--summary-out FILE]
 //! ```
 //!
 //! A batch prints every offending seed (replay key) and writes the summary
 //! to `results/simcheck.json`; the exit code is nonzero on any violation.
+//!
+//! Campaign mode runs (or resumes) the coverage-directed engine in
+//! `viampi_bench::campaign`: shards are checkpointed to the state file as
+//! they commit, so a killed campaign resumes without re-running committed
+//! work, and the resumed state is byte-identical to a one-shot run.
 
+use viampi_bench::campaign::{default_corpus_path, run_campaign, CampaignConfig};
+use viampi_bench::json::to_string_pretty;
 use viampi_bench::report::{self, fmt};
 use viampi_bench::runner;
-use viampi_bench::simcheck::{run_seed, run_seeds, FaultKind, SeedOutcome};
+use viampi_bench::simcheck::{describe_key, run_key, run_seeds, FaultKind, SeedOutcome};
 
 struct Args {
-    seeds: u64,
+    seeds: Option<u64>,
     start: u64,
     fault: FaultKind,
     replay: Option<u64>,
+    campaign: Option<std::path::PathBuf>,
+    timebox: Option<f64>,
+    corpus: Option<std::path::PathBuf>,
+    summary_out: Option<std::path::PathBuf>,
 }
 
 fn parse_args() -> Args {
     let argv: Vec<String> = std::env::args().collect();
     let mut args = Args {
-        seeds: 1000,
+        seeds: None,
         start: 0,
         fault: FaultKind::Heavy,
         replay: None,
+        campaign: None,
+        timebox: None,
+        corpus: None,
+        summary_out: None,
     };
     let mut i = 1;
     let value = |argv: &[String], i: usize, flag: &str| -> String {
@@ -40,9 +57,11 @@ fn parse_args() -> Args {
     while i < argv.len() {
         match argv[i].as_str() {
             "--seeds" => {
-                args.seeds = value(&argv, i, "--seeds")
-                    .parse()
-                    .unwrap_or_else(|_| die("--seeds expects a number"));
+                args.seeds = Some(
+                    value(&argv, i, "--seeds")
+                        .parse()
+                        .unwrap_or_else(|_| die("--seeds expects a number")),
+                );
                 i += 2;
             }
             "--start" => {
@@ -58,11 +77,33 @@ fn parse_args() -> Args {
                 i += 2;
             }
             "--replay" => {
-                args.replay = Some(
-                    value(&argv, i, "--replay")
+                let v = value(&argv, i, "--replay");
+                let parsed = match v.strip_prefix("0x") {
+                    Some(hex) => u64::from_str_radix(hex, 16).ok(),
+                    None => v.parse().ok(),
+                };
+                args.replay =
+                    Some(parsed.unwrap_or_else(|| die("--replay expects a key (decimal or 0x…)")));
+                i += 2;
+            }
+            "--campaign" => {
+                args.campaign = Some(value(&argv, i, "--campaign").into());
+                i += 2;
+            }
+            "--timebox" => {
+                args.timebox = Some(
+                    value(&argv, i, "--timebox")
                         .parse()
-                        .unwrap_or_else(|_| die("--replay expects a seed")),
+                        .unwrap_or_else(|_| die("--timebox expects seconds")),
                 );
+                i += 2;
+            }
+            "--corpus" => {
+                args.corpus = Some(value(&argv, i, "--corpus").into());
+                i += 2;
+            }
+            "--summary-out" => {
+                args.summary_out = Some(value(&argv, i, "--summary-out").into());
                 i += 2;
             }
             "--jobs" => i += 2, // handled by runner::init_from_args
@@ -70,7 +111,9 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 println!(
                     "usage: simcheck [--seeds N] [--start S] \
-                     [--fault none|light|heavy] [--jobs J] [--replay SEED]"
+                     [--fault none|light|heavy] [--jobs J] [--replay KEY]\n       \
+                     simcheck --campaign STATE.json [--seeds BUDGET] [--timebox SECS] \
+                     [--corpus FILE] [--summary-out FILE]"
                 );
                 std::process::exit(0);
             }
@@ -92,13 +135,90 @@ fn describe(o: &SeedOutcome) -> String {
     )
 }
 
+fn run_campaign_cli(args: &Args, state_path: std::path::PathBuf) -> ! {
+    // Without an explicit stop condition a campaign would explore forever;
+    // default to a one-minute timebox.
+    let timebox = match (args.seeds, args.timebox) {
+        (None, None) => {
+            println!("simcheck: no --seeds budget or --timebox given, defaulting to 60s timebox");
+            Some(60.0)
+        }
+        _ => args.timebox,
+    };
+    let cfg = CampaignConfig {
+        state_path,
+        kind: args.fault,
+        seeds_budget: args.seeds,
+        timebox,
+        corpus_path: args.corpus.clone(),
+    };
+    let report = match run_campaign(&cfg) {
+        Ok(r) => r,
+        Err(e) => die(&e),
+    };
+    let s = &report.summary;
+    let new_corpus = s.corpus_new;
+    println!(
+        "campaign ({} fault, {} jobs): {} keys this run in {:.1}s ({:.0} seeds/hour), stopped: {}",
+        s.fault, s.jobs, s.seeds_this_run, s.wall_secs, s.seeds_per_hour, s.stopped
+    );
+    println!(
+        "  corpus: {} replayed, {} still violating, {} new minimized entries",
+        s.corpus_replayed, s.corpus_open, new_corpus
+    );
+    for line in &s.metrics {
+        println!("  {} = {}", line.name, line.value);
+    }
+    for o in &report.corpus_open {
+        println!("OPEN {}", describe(o));
+        for v in &o.violations {
+            println!("  {v}");
+        }
+        println!("  replay: simcheck --replay {} --fault {}", o.seed, o.fault);
+    }
+    if new_corpus > 0 {
+        for line in report.state.corpus.iter().rev().take(new_corpus as usize) {
+            println!("NEW VIOLATION (minimized): {line}");
+        }
+    }
+    match &args.summary_out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, to_string_pretty(s)) {
+                die(&format!("write {}: {e}", path.display()));
+            }
+            println!("campaign summary: {}", path.display());
+        }
+        None => {
+            report::write_json("simcheck_campaign", s);
+            println!(
+                "campaign summary: {}",
+                report::results_dir()
+                    .join("simcheck_campaign.json")
+                    .display()
+            );
+        }
+    }
+    println!("campaign state: {}", cfg.state_path.display());
+    println!(
+        "corpus file: {}",
+        cfg.corpus_path
+            .clone()
+            .unwrap_or_else(default_corpus_path)
+            .display()
+    );
+    if s.corpus_open > 0 || new_corpus > 0 {
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     runner::init_from_args();
     let args = parse_args();
 
-    if let Some(seed) = args.replay {
-        let o = run_seed(seed, args.fault);
-        println!("{}", describe(&o));
+    if let Some(k) = args.replay {
+        print!("{}", describe_key(k, args.fault));
+        let o = run_key(k, args.fault);
         println!(
             "  end {} us, {} events, {} faults injected, {} retries, {} failures",
             fmt(o.end_us),
@@ -107,6 +227,11 @@ fn main() {
             o.conn_retries,
             o.conn_failures
         );
+        println!(
+            "  retry depth max {}, {} unexpected arrivals",
+            o.retry_depth_max, o.unexpected_msgs
+        );
+        println!("  coverage signature: {}", o.signature);
         if o.violations.is_empty() {
             println!("  all invariants hold");
         } else {
@@ -118,15 +243,20 @@ fn main() {
         return;
     }
 
+    if let Some(state_path) = args.campaign.clone() {
+        run_campaign_cli(&args, state_path);
+    }
+
+    let seeds = args.seeds.unwrap_or(1000);
     println!(
         "simcheck: {} seeds from {} (fault profile: {}, {} jobs)",
-        args.seeds,
+        seeds,
         args.start,
         args.fault.name(),
         runner::jobs()
     );
     let (outcomes, summary) =
-        runner::timed("simcheck", || run_seeds(args.start, args.seeds, args.fault));
+        runner::timed("simcheck", || run_seeds(args.start, seeds, args.fault));
 
     let mut rows = Vec::new();
     for program in ["ring", "storm", "shift-large", "all-to-all"] {

@@ -22,6 +22,7 @@
 #![forbid(unsafe_code)]
 
 pub mod ablation;
+pub mod campaign;
 pub mod experiments;
 pub mod json;
 pub mod micro;

@@ -11,8 +11,8 @@
 //! and the machine's available parallelism.
 
 use crate::report::{results_dir, write_json};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
 /// Explicit override (0 = unset). Set once at startup or by tests.
@@ -102,6 +102,81 @@ where
                 .expect("worker stored every result")
         })
         .collect()
+}
+
+/// Resumable sharded execution: run `shards` on the worker pool and hand
+/// each result to `commit` **strictly in shard order**, as soon as the
+/// contiguous prefix is complete — no barrier between shards, so a slow
+/// shard never idles the pool.
+///
+/// `commit` runs on the calling thread (it may hold mutable campaign
+/// state and checkpoint to disk); returning `false` stops the run:
+/// workers finish their in-flight shard, later results are discarded, and
+/// no further shard commits. Returns the number of shards committed.
+///
+/// The committed sequence at any worker count is a prefix of the serial
+/// one — this is what makes a killed-and-resumed campaign byte-identical
+/// to a one-shot run.
+pub fn shard_map<T, R, F, C>(shards: Vec<T>, run: F, mut commit: C) -> usize
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+    C: FnMut(usize, R) -> bool,
+{
+    let n = shards.len();
+    if n == 0 {
+        return 0;
+    }
+    let workers = jobs().min(n);
+    if workers <= 1 {
+        for (i, shard) in shards.iter().enumerate() {
+            let r = run(i, shard);
+            if !commit(i, r) {
+                return i + 1;
+            }
+        }
+        return n;
+    }
+    let next = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    let ready = Condvar::new();
+    let mut committed = 0usize;
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = run(i, &shards[i]);
+                let mut guard = slots.lock().unwrap_or_else(|e| e.into_inner());
+                guard[i] = Some(r);
+                drop(guard);
+                ready.notify_all();
+            });
+        }
+        // Committer: drain the contiguous prefix in order on this thread.
+        for k in 0..n {
+            let mut guard = slots.lock().unwrap_or_else(|e| e.into_inner());
+            while guard[k].is_none() {
+                guard = ready.wait(guard).unwrap_or_else(|e| e.into_inner());
+            }
+            let r = guard[k].take().expect("checked above");
+            drop(guard);
+            if !commit(k, r) {
+                stop.store(true, Ordering::Relaxed);
+                committed = k + 1;
+                return;
+            }
+            committed = k + 1;
+        }
+    });
+    committed
 }
 
 /// Wall-clock/throughput record for one timed experiment.
@@ -241,6 +316,50 @@ mod tests {
         assert!(empty.is_empty());
         assert_eq!(par_map(vec![9u32], |x| x + 1), vec![10]);
         set_jobs(0);
+    }
+
+    #[test]
+    fn shard_map_commits_in_order_at_any_worker_count() {
+        for jobs in [1, 4, 7] {
+            set_jobs(jobs);
+            let mut seen = Vec::new();
+            let committed = shard_map(
+                (0..20).collect::<Vec<u64>>(),
+                |i, &x| (i as u64, x * 2),
+                |i, (idx, doubled)| {
+                    assert_eq!(i as u64, idx);
+                    seen.push(doubled);
+                    true
+                },
+            );
+            set_jobs(0);
+            assert_eq!(committed, 20);
+            assert_eq!(seen, (0..20).map(|x| x * 2).collect::<Vec<u64>>());
+        }
+    }
+
+    #[test]
+    fn shard_map_stop_commits_a_prefix() {
+        for jobs in [1, 5] {
+            set_jobs(jobs);
+            let mut seen = Vec::new();
+            let committed = shard_map(
+                (0..30).collect::<Vec<u64>>(),
+                |_, &x| x,
+                |_, x| {
+                    seen.push(x);
+                    x < 9
+                },
+            );
+            set_jobs(0);
+            assert_eq!(committed, 10, "stops after the first false commit");
+            assert_eq!(seen, (0..10).collect::<Vec<u64>>());
+        }
+    }
+
+    #[test]
+    fn shard_map_empty() {
+        assert_eq!(shard_map(Vec::<u8>::new(), |_, &x| x, |_, _| true), 0);
     }
 
     #[test]

@@ -112,9 +112,22 @@ struct Scenario {
     fault_seed: u64,
     /// Messages per pair/hop.
     m: u32,
+    /// Percent scaling (25–100) applied to every fault probability; the
+    /// shrinker walks it down to find the mildest still-failing intensity.
+    fault_scale: u32,
+    /// Retry-edge mutation: override the profile's connection-drop
+    /// probability (always kept sub-budget, ≤ 0.18).
+    drop_override: Option<f64>,
+    /// Data-plane jitter `(delay_prob, reorder_prob, delay_max_us)`.
+    data_jitter: Option<(f64, f64, u64)>,
 }
 
 /// Derive the scenario for `seed` (a pure function of the seed).
+///
+/// The draw sequence below is frozen: every pre-campaign corpus seed must
+/// keep its exact scenario. New scenario territory (large np, data jitter,
+/// …) lives in the mutated-key namespace (see [`key`]), never in new draws
+/// here.
 fn derive(seed: u64) -> Scenario {
     let mut rng = SplitMix64::new(seed ^ 0x51AC_C4EC_5EED_0001);
     Scenario {
@@ -144,7 +157,280 @@ fn derive(seed: u64) -> Scenario {
         sched_seed: rng.next_u64(),
         fault_seed: rng.next_u64(),
         m: 2 + rng.next_below(3) as u32,
+        fault_scale: 100,
+        drop_override: None,
+        data_jitter: None,
     }
+}
+
+/// Campaign scenario-key encoding.
+///
+/// A key is a `u64` whose top 4 bits (the *tag*) select its class:
+///
+/// * tag `0` — **plain seed**: the whole key is the seed fed to `derive`,
+///   so every pre-campaign corpus seed keeps its exact scenario;
+/// * tags `1..=7` — **mutated**: bits 0–47 hold the 48-bit root seed,
+///   bits 48–59 a 12-bit variant, and the tag is the [`Axis`] being
+///   mutated away from the root's derived scenario (one axis per key);
+/// * tag `0xF` — **shrink**: bits 0–47 hold the root, bits 56–59 the
+///   parent's mutation axis (0 = plain parent) and bits 48–55 pack the
+///   shrink overrides as table indices (np, messages-per-pair, fault
+///   scale).
+///
+/// Every key is therefore replayable from a bare `u64` — children and
+/// minimized violations included — with no side table.
+pub mod key {
+    /// Mask of the 48-bit root-seed field.
+    pub const ROOT_MASK: u64 = (1u64 << 48) - 1;
+    /// Tag of shrink keys.
+    pub const SHRINK_TAG: u64 = 0xF;
+
+    /// Top-4-bit class tag.
+    pub fn tag(k: u64) -> u64 {
+        k >> 60
+    }
+
+    /// 48-bit root seed (identity for plain keys below 2⁴⁸).
+    pub fn root(k: u64) -> u64 {
+        k & ROOT_MASK
+    }
+
+    /// 12-bit mutation variant of a mutated key.
+    pub fn variant(k: u64) -> u32 {
+        ((k >> 48) & 0xFFF) as u32
+    }
+
+    /// Is `k` a plain seed?
+    pub fn is_plain(k: u64) -> bool {
+        tag(k) == 0
+    }
+
+    /// Is `k` a shrink key?
+    pub fn is_shrink(k: u64) -> bool {
+        tag(k) == SHRINK_TAG
+    }
+
+    /// Encode a mutated child key.
+    pub fn mutated(axis: super::Axis, variant: u32, root: u64) -> u64 {
+        ((axis as u64) << 60) | (((variant as u64) & 0xFFF) << 48) | (root & ROOT_MASK)
+    }
+
+    /// Encode a shrink key (`parent_axis` 0 means the parent was plain).
+    pub fn shrink(
+        parent_axis: u64,
+        np_idx: usize,
+        m_idx: usize,
+        scale_idx: usize,
+        root: u64,
+    ) -> u64 {
+        (SHRINK_TAG << 60)
+            | ((parent_axis & 0xF) << 56)
+            | (((np_idx as u64) & 0xF) << 52)
+            | (((m_idx as u64) & 0x3) << 50)
+            | (((scale_idx as u64) & 0x3) << 48)
+            | (root & ROOT_MASK)
+    }
+
+    /// Decode a shrink key's `(parent_axis, np_idx, m_idx, scale_idx)`.
+    pub fn shrink_parts(k: u64) -> (u64, usize, usize, usize) {
+        (
+            (k >> 56) & 0xF,
+            ((k >> 52) & 0xF) as usize,
+            ((k >> 50) & 0x3) as usize,
+            ((k >> 48) & 0x3) as usize,
+        )
+    }
+}
+
+/// One scenario axis a derived child key mutates away from its root. The
+/// discriminant doubles as the key tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u64)]
+pub enum Axis {
+    /// Large world sizes (np 8–64): wide connection fan-out.
+    NpLarge = 1,
+    /// Force the §3.5 wildcard-receive connection storm at np 6–32.
+    Storm = 2,
+    /// On-demand connections under boosted — but still sub-budget —
+    /// drop rates: the retry-budget edge.
+    RetryEdge = 3,
+    /// More messages per pair (m 4–15): deeper credit/FIFO pressure.
+    Msgs = 4,
+    /// Sweep connection mode × wait policy × dynamic credits.
+    ConnWait = 5,
+    /// Lossless data-plane delay/reorder jitter: the pooled data path
+    /// under adversarial wire schedules.
+    DataJitter = 6,
+    /// Dynamic flow control on, with enough traffic to trigger growth.
+    DynCredits = 7,
+}
+
+impl Axis {
+    /// Every axis, in tag order.
+    pub const ALL: [Axis; 7] = [
+        Axis::NpLarge,
+        Axis::Storm,
+        Axis::RetryEdge,
+        Axis::Msgs,
+        Axis::ConnWait,
+        Axis::DataJitter,
+        Axis::DynCredits,
+    ];
+
+    /// Axis for a key tag in `1..=7`.
+    pub fn from_tag(t: u64) -> Option<Axis> {
+        Axis::ALL.into_iter().find(|&a| a as u64 == t)
+    }
+
+    /// Name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Axis::NpLarge => "np-large",
+            Axis::Storm => "storm",
+            Axis::RetryEdge => "retry-edge",
+            Axis::Msgs => "msgs",
+            Axis::ConnWait => "conn-wait",
+            Axis::DataJitter => "data-jitter",
+            Axis::DynCredits => "dyn-credits",
+        }
+    }
+
+    /// Child-spawn weight: the campaign biases exploration toward large
+    /// np, `ANY_SOURCE` storms and retry-budget edges.
+    pub fn weight(self) -> u32 {
+        match self {
+            Axis::NpLarge | Axis::Storm | Axis::RetryEdge => 4,
+            Axis::DataJitter => 2,
+            Axis::Msgs | Axis::ConnWait | Axis::DynCredits => 1,
+        }
+    }
+}
+
+/// np ladder the shrinker walks down (shrink keys index into it).
+const NP_SHRINK: [usize; 13] = [2, 3, 4, 5, 6, 8, 10, 12, 16, 24, 32, 48, 64];
+/// Messages-per-pair ladder.
+const M_SHRINK: [u32; 4] = [1, 2, 4, 8];
+/// Fault-intensity ladder, percent of the profile's rates.
+const SCALE_SHRINK: [u32; 4] = [25, 50, 75, 100];
+
+/// Mutate one axis of `sc` (the root's derived scenario). The full key
+/// salts a fresh RNG, so every variant also gets new scheduler and fault
+/// seeds — same topology, different race.
+fn apply_axis(mut sc: Scenario, axis: Axis, variant: u32, k: u64) -> Scenario {
+    let mut rng = SplitMix64::new(k ^ 0x0DD5_EED5_0C4A_FE01);
+    sc.sched_seed = rng.next_u64();
+    sc.fault_seed = rng.next_u64();
+    match axis {
+        Axis::NpLarge => {
+            const NP_BAND: [usize; 11] = [8, 10, 12, 16, 20, 24, 32, 40, 48, 56, 64];
+            sc.np = NP_BAND[variant as usize % NP_BAND.len()];
+            // Keep the widest worlds affordable: rendezvous shift rounds
+            // and full all-to-all grow quadratically with np.
+            if sc.np > 24 && sc.program == Program::ShiftLarge {
+                sc.program = Program::Ring;
+            }
+            if sc.np > 32 && sc.program == Program::AllToAll {
+                sc.program = Program::Ring;
+            }
+            if sc.np >= 32 {
+                sc.m = sc.m.min(2);
+            }
+        }
+        Axis::Storm => {
+            sc.program = Program::Storm;
+            sc.np = 6 + (variant as usize % 27);
+        }
+        Axis::RetryEdge => {
+            sc.conn = ConnMode::OnDemand;
+            // 0.06..=0.18: deep retry chains, yet budget exhaustion
+            // (P ≈ drop^(retry_max+1)) stays negligible.
+            sc.drop_override = Some(0.06 + 0.02 * (variant % 7) as f64);
+        }
+        Axis::Msgs => {
+            sc.m = 4 + variant % 12;
+        }
+        Axis::ConnWait => {
+            sc.conn = match variant % 3 {
+                0 => ConnMode::OnDemand,
+                1 => ConnMode::StaticPeerToPeer,
+                _ => ConnMode::StaticClientServer,
+            };
+            sc.wait = if (variant / 3).is_multiple_of(2) {
+                WaitPolicy::Polling
+            } else {
+                WaitPolicy::spinwait_default()
+            };
+            sc.dynamic_credits = (variant / 6) % 2 == 1;
+        }
+        Axis::DataJitter => {
+            let dp = 0.25 + 0.05 * (variant % 8) as f64;
+            let rp = 0.10 + 0.05 * ((variant / 8) % 4) as f64;
+            let max = 200 + 400 * ((variant / 32) % 4) as u64;
+            sc.data_jitter = Some((dp, rp, max));
+        }
+        Axis::DynCredits => {
+            sc.dynamic_credits = true;
+            sc.m = 3 + variant % 6;
+        }
+    }
+    sc
+}
+
+/// Derive the scenario for an arbitrary campaign key (a pure function of
+/// the key). Plain keys reproduce [`derive`] exactly.
+fn derive_key(k: u64) -> Scenario {
+    match key::tag(k) {
+        0 => derive(k),
+        key::SHRINK_TAG => {
+            let (axis, np_idx, m_idx, scale_idx) = key::shrink_parts(k);
+            let root = key::root(k);
+            let mut sc = match Axis::from_tag(axis) {
+                Some(a) => apply_axis(derive(root), a, 0, key::mutated(a, 0, root)),
+                None => derive(root),
+            };
+            sc.np = NP_SHRINK[np_idx.min(NP_SHRINK.len() - 1)];
+            sc.m = M_SHRINK[m_idx];
+            sc.fault_scale = SCALE_SHRINK[scale_idx];
+            sc
+        }
+        t => match Axis::from_tag(t) {
+            Some(a) => apply_axis(derive(key::root(k)), a, key::variant(k), k),
+            // Reserved tags derive like their root so every u64 is runnable.
+            None => derive(key::root(k)),
+        },
+    }
+}
+
+/// The fault profile actually installed for a scenario: the batch kind's
+/// base rates with the scenario's overrides (retry-edge drop boost, data
+/// jitter, shrink scaling) applied.
+fn effective_profile(sc: &Scenario, kind: FaultKind) -> Option<FaultProfile> {
+    let mut p = match kind.profile(sc.fault_seed) {
+        Some(p) => p,
+        None => {
+            // Pure schedule exploration: only lossless data jitter can
+            // apply (it cannot manufacture connection faults).
+            let (dp, rp, max) = sc.data_jitter?;
+            return Some(FaultProfile::none(sc.fault_seed).with_data_jitter(dp, rp, max));
+        }
+    };
+    if let Some(d) = sc.drop_override {
+        p.drop_prob = d;
+    }
+    if let Some((dp, rp, max)) = sc.data_jitter {
+        p = p.with_data_jitter(dp, rp, max);
+    }
+    if sc.fault_scale != 100 {
+        let s = sc.fault_scale as f64 / 100.0;
+        p.drop_prob *= s;
+        p.dup_prob *= s;
+        p.delay_prob *= s;
+        p.reorder_prob *= s;
+        p.vi_fail_prob *= s;
+        p.data_delay_prob *= s;
+        p.data_reorder_prob *= s;
+    }
+    Some(p)
 }
 
 /// Deterministic payload for message `seq` from `src` of length `len`.
@@ -203,6 +489,13 @@ pub struct SeedOutcome {
     pub conn_retries: u64,
     /// Channels failed after budget exhaustion (must be 0).
     pub conn_failures: u64,
+    /// Deepest per-channel retry attempt across ranks.
+    pub retry_depth_max: u64,
+    /// Messages that arrived before their receive was posted, summed.
+    pub unexpected_msgs: u64,
+    /// Deterministic coverage signature (field layout documented in the
+    /// campaign section of EXPERIMENTS.md).
+    pub signature: String,
     /// Invariant violations (empty = pass).
     pub violations: Vec<String>,
 }
@@ -220,6 +513,9 @@ impl_json!(SeedOutcome {
     faults_injected,
     conn_retries,
     conn_failures,
+    retry_depth_max,
+    unexpected_msgs,
+    signature,
     violations,
 });
 
@@ -269,7 +565,14 @@ impl_json!(Summary {
 /// send later. That shows up as a phantom credit leak in the invariant
 /// check; after the barrier every rank's settle window covers its peers'
 /// returns.
-fn quiesce(mpi: &viampi_core::Mpi) {
+///
+/// `settle_rounds` scales that window: data-plane jitter can hold a
+/// packet up to 5×`data_delay_max_us` past its nominal arrival (delay
+/// draw + 4× reorder draw), and the worst chain is two hops deep — a
+/// jittered payload whose credit return is jittered again — so jittered
+/// scenarios must wait out ~10× the jitter bound where fault-free ones
+/// need only the base window.
+fn quiesce(mpi: &viampi_core::Mpi, settle_rounds: u64) {
     let round = SimDuration::micros(600);
     let drain = |label: &str| {
         let mut rounds = 0u32;
@@ -288,9 +591,19 @@ fn quiesce(mpi: &viampi_core::Mpi) {
     // The barrier itself may have opened new channels under fault
     // injection; let those handshakes finish too.
     drain("post-barrier");
-    for _ in 0..6 {
+    for _ in 0..settle_rounds {
         mpi.advance(round);
         mpi.progress();
+    }
+}
+
+/// Post-barrier settle rounds for a scenario: the base window plus enough
+/// 600 µs rounds to cover a two-hop worst-case data-jitter chain.
+fn settle_rounds(sc: &Scenario) -> u64 {
+    let base = 6;
+    match sc.data_jitter {
+        Some((_, _, max_us)) => base + (12 * max_us).div_ceil(600),
+        None => base,
     }
 }
 
@@ -380,7 +693,7 @@ fn run_program(mpi: &viampi_core::Mpi, sc: &Scenario) -> Vec<RecvRecord> {
             mpi.waitall(&sends);
         }
     }
-    quiesce(mpi);
+    quiesce(mpi, settle_rounds(sc));
     log
 }
 
@@ -540,23 +853,78 @@ fn check_invariants(sc: &Scenario, report: &RunReport<Vec<RecvRecord>>) -> Vec<S
     v
 }
 
-/// Run one seed and check every invariant.
-pub fn run_seed(seed: u64, kind: FaultKind) -> SeedOutcome {
-    let sc = derive(seed);
+/// np bucket of a coverage signature.
+fn np_band(np: usize) -> &'static str {
+    match np {
+        0..=3 => "np2-3",
+        4..=6 => "np4-6",
+        7..=8 => "np7-8",
+        9..=16 => "np9-16",
+        17..=32 => "np17-32",
+        _ => "np33-64",
+    }
+}
+
+/// Retry-depth bucket of a coverage signature.
+fn retry_band(depth: u64) -> &'static str {
+    match depth {
+        0 => "r0",
+        1 => "r1",
+        2..=3 => "r2-3",
+        4..=6 => "r4-6",
+        _ => "r7+",
+    }
+}
+
+/// log₂ bucket (`<prefix><bit length>`) for open-ended counts.
+fn log2_band(prefix: char, v: u64) -> String {
+    format!("{prefix}{}", u64::BITS - v.leading_zeros())
+}
+
+/// Run one campaign key and check every invariant. Plain seeds behave
+/// exactly as in the pre-campaign harness.
+pub fn run_key(k: u64, kind: FaultKind) -> SeedOutcome {
+    let sc = derive_key(k);
     let mut uni = Universe::new(sc.np, sc.device, sc.conn, sc.wait);
     {
         let cfg = uni.config_mut();
-        cfg.faults = kind.profile(sc.fault_seed);
+        cfg.faults = effective_profile(&sc, kind);
         cfg.sched_seed = Some(sc.sched_seed);
         cfg.dynamic_credits = sc.dynamic_credits;
     }
     let sc2 = sc.clone();
     let report = uni
         .run(move |mpi| run_program(mpi, &sc2))
-        .unwrap_or_else(|e| panic!("seed {seed}: simulation failed: {e}"));
+        .unwrap_or_else(|e| panic!("key {k}: simulation failed: {e}"));
     let violations = check_invariants(&sc, &report);
+    let retry_depth_max = report
+        .ranks
+        .iter()
+        .map(|r| r.mpi.conn_retry_depth_max)
+        .max()
+        .unwrap_or(0);
+    let unexpected_msgs: u64 = report.ranks.iter().map(|r| r.mpi.unexpected_msgs).sum();
+    let channels_connected = report
+        .ranks
+        .iter()
+        .flat_map(|r| r.channels.iter())
+        .filter(|c| c.state == ChanState::Connected)
+        .count() as u64;
+    let signature = format!(
+        "{}|{}|{}|{}|{}|{}|{}|{}|{}|{}",
+        np_band(sc.np),
+        sc.program.name(),
+        sc.device.name(),
+        sc.conn.name(),
+        sc.wait.name(),
+        if sc.dynamic_credits { "dyn" } else { "fix" },
+        report.fault_stats.fired_mask(),
+        retry_band(retry_depth_max),
+        log2_band('u', unexpected_msgs),
+        log2_band('c', channels_connected),
+    );
     SeedOutcome {
-        seed,
+        seed: k,
         np: sc.np,
         program: sc.program.name().to_string(),
         device: sc.device.name().to_string(),
@@ -568,8 +936,151 @@ pub fn run_seed(seed: u64, kind: FaultKind) -> SeedOutcome {
         faults_injected: report.fault_stats.total(),
         conn_retries: report.ranks.iter().map(|r| r.mpi.conn_retries).sum(),
         conn_failures: report.ranks.iter().map(|r| r.mpi.conn_failures).sum(),
+        retry_depth_max,
+        unexpected_msgs,
+        signature,
         violations,
     }
+}
+
+/// Run one seed and check every invariant.
+pub fn run_seed(seed: u64, kind: FaultKind) -> SeedOutcome {
+    run_key(seed, kind)
+}
+
+/// One-step shrink candidates for `k`, in a fixed order: np down, messages
+/// down, fault intensity down, drop the mutation axis. A non-shrink key's
+/// first candidate is its own (rounded-down) shrink encoding; a mutated
+/// key also offers its bare root.
+pub fn shrink_candidates(k: u64) -> Vec<u64> {
+    let mut out = Vec::new();
+    if key::is_shrink(k) {
+        let (axis, np_idx, m_idx, scale_idx) = key::shrink_parts(k);
+        let np_idx = np_idx.min(NP_SHRINK.len() - 1);
+        let root = key::root(k);
+        if np_idx > 0 {
+            out.push(key::shrink(axis, np_idx - 1, m_idx, scale_idx, root));
+        }
+        if m_idx > 0 {
+            out.push(key::shrink(axis, np_idx, m_idx - 1, scale_idx, root));
+        }
+        if scale_idx > 0 {
+            out.push(key::shrink(axis, np_idx, m_idx, scale_idx - 1, root));
+        }
+        if axis != 0 {
+            out.push(key::shrink(0, np_idx, m_idx, scale_idx, root));
+        }
+    } else {
+        let sc = derive_key(k);
+        let np_idx = NP_SHRINK.iter().rposition(|&v| v <= sc.np).unwrap_or(0);
+        let m_idx = M_SHRINK.iter().rposition(|&v| v <= sc.m).unwrap_or(0);
+        let scale_idx = SCALE_SHRINK
+            .iter()
+            .rposition(|&v| v <= sc.fault_scale)
+            .unwrap_or(SCALE_SHRINK.len() - 1);
+        out.push(key::shrink(
+            key::tag(k),
+            np_idx,
+            m_idx,
+            scale_idx,
+            key::root(k),
+        ));
+        if !key::is_plain(k) {
+            out.push(key::root(k));
+        }
+    }
+    out
+}
+
+/// Greedily minimize a violating key: walk [`shrink_candidates`] and take
+/// the first candidate `check` confirms still violates, until none does.
+/// Every accepted step is re-verified, so the result is guaranteed to
+/// still fail; returns the minimized key and the number of candidate runs
+/// spent. Deterministic given a deterministic `check`.
+pub fn shrink_key(k: u64, check: &mut dyn FnMut(u64) -> bool) -> (u64, u64) {
+    let mut cur = k;
+    let mut steps = 0u64;
+    'outer: loop {
+        for cand in shrink_candidates(cur) {
+            steps += 1;
+            if check(cand) {
+                cur = cand;
+                continue 'outer;
+            }
+        }
+        return (cur, steps);
+    }
+}
+
+/// Human-readable description of a key's fully derived scenario (what
+/// `simcheck --replay` prints), so corpus triage doesn't require reading
+/// `derive()`.
+pub fn describe_key(k: u64, kind: FaultKind) -> String {
+    let sc = derive_key(k);
+    let class = match key::tag(k) {
+        0 => format!("plain seed {k}"),
+        key::SHRINK_TAG => {
+            let (axis, np_idx, m_idx, scale_idx) = key::shrink_parts(k);
+            let parent = match Axis::from_tag(axis) {
+                Some(a) => format!("axis {}", a.name()),
+                None => "plain".to_string(),
+            };
+            format!(
+                "shrink of root {} ({parent}; np={} m={} faults×{}%)",
+                key::root(k),
+                NP_SHRINK[np_idx.min(NP_SHRINK.len() - 1)],
+                M_SHRINK[m_idx],
+                SCALE_SHRINK[scale_idx],
+            )
+        }
+        t => match Axis::from_tag(t) {
+            Some(a) => format!(
+                "root {} mutated on axis {} (variant {})",
+                key::root(k),
+                a.name(),
+                key::variant(k)
+            ),
+            None => format!("reserved tag {t}, derives as root {}", key::root(k)),
+        },
+    };
+    let mut s = String::new();
+    s.push_str(&format!("key             0x{k:016x} ({class})\n"));
+    s.push_str(&format!("np              {}\n", sc.np));
+    s.push_str(&format!("program         {}\n", sc.program.name()));
+    s.push_str(&format!("device          {}\n", sc.device.name()));
+    s.push_str(&format!("conn mode       {}\n", sc.conn.name()));
+    s.push_str(&format!("wait policy     {}\n", sc.wait.name()));
+    s.push_str(&format!(
+        "dynamic credits {}\n",
+        if sc.dynamic_credits { "yes" } else { "no" }
+    ));
+    s.push_str(&format!("msgs per pair   {}\n", sc.m));
+    s.push_str(&format!("sched seed      0x{:016x}\n", sc.sched_seed));
+    s.push_str(&format!("fault seed      0x{:016x}\n", sc.fault_seed));
+    match effective_profile(&sc, kind) {
+        None => s.push_str("faults          none (pure schedule exploration)\n"),
+        Some(p) => {
+            s.push_str(&format!(
+                "faults          {} ×{}%: drop {:.3} dup {:.3} delay {:.3} \
+                 reorder {:.3} (max {} µs) vi-fail {:.3}\n",
+                kind.name(),
+                sc.fault_scale,
+                p.drop_prob,
+                p.dup_prob,
+                p.delay_prob,
+                p.reorder_prob,
+                p.delay_max_us,
+                p.vi_fail_prob,
+            ));
+            if p.data_delay_prob > 0.0 || p.data_reorder_prob > 0.0 {
+                s.push_str(&format!(
+                    "data jitter     delay {:.3} reorder {:.3} (max {} µs, lossless)\n",
+                    p.data_delay_prob, p.data_reorder_prob, p.data_delay_max_us,
+                ));
+            }
+        }
+    }
+    s
 }
 
 /// Run `count` seeds starting at `start` (in parallel) and summarize.
@@ -651,5 +1162,117 @@ mod tests {
         assert_eq!(a.events, b.events);
         assert_eq!(a.faults_injected, b.faults_injected);
         assert_eq!(a.conn_retries, b.conn_retries);
+        assert_eq!(a.signature, b.signature);
+    }
+
+    #[test]
+    fn plain_keys_keep_their_pre_campaign_scenarios() {
+        for seed in [0u64, 1, 17, 910] {
+            let a = derive(seed);
+            let b = derive_key(seed);
+            assert_eq!(a.np, b.np);
+            assert_eq!(a.program, b.program);
+            assert_eq!(a.sched_seed, b.sched_seed);
+            assert_eq!(a.fault_seed, b.fault_seed);
+            assert_eq!(a.m, b.m);
+            assert_eq!(b.fault_scale, 100);
+            assert!(b.drop_override.is_none() && b.data_jitter.is_none());
+        }
+    }
+
+    #[test]
+    fn key_encoding_roundtrips() {
+        let root = 0x1234_5678_9ABCu64;
+        let k = key::mutated(Axis::Storm, 0x7FF, root);
+        assert_eq!(key::tag(k), Axis::Storm as u64);
+        assert_eq!(key::variant(k), 0x7FF);
+        assert_eq!(key::root(k), root);
+        let s = key::shrink(Axis::NpLarge as u64, 9, 2, 1, root);
+        assert!(key::is_shrink(s));
+        assert_eq!(key::shrink_parts(s), (Axis::NpLarge as u64, 9, 2, 1));
+        assert_eq!(key::root(s), root);
+    }
+
+    #[test]
+    fn each_axis_mutates_its_scenario_dimension() {
+        let root = 42u64;
+        let base = derive(root);
+        let np_large = derive_key(key::mutated(Axis::NpLarge, 0, root));
+        assert!(np_large.np >= 8);
+        let storm = derive_key(key::mutated(Axis::Storm, 3, root));
+        assert_eq!(storm.program, Program::Storm);
+        assert!(storm.np >= 6);
+        let retry = derive_key(key::mutated(Axis::RetryEdge, 6, root));
+        assert_eq!(retry.conn, ConnMode::OnDemand);
+        let d = retry.drop_override.unwrap();
+        assert!((0.06..=0.18).contains(&d));
+        let msgs = derive_key(key::mutated(Axis::Msgs, 11, root));
+        assert!(msgs.m >= 4);
+        let jitter = derive_key(key::mutated(Axis::DataJitter, 40, root));
+        let (dp, rp, max) = jitter.data_jitter.unwrap();
+        assert!(dp > 0.0 && rp > 0.0 && max >= 200);
+        let dync = derive_key(key::mutated(Axis::DynCredits, 0, root));
+        assert!(dync.dynamic_credits);
+        // Every mutated key reseeds the schedule: same topology axis,
+        // different race.
+        assert_ne!(np_large.sched_seed, base.sched_seed);
+        assert_ne!(storm.sched_seed, np_large.sched_seed);
+    }
+
+    #[test]
+    fn shrink_keys_override_np_m_and_scale() {
+        let root = 7u64;
+        let k = key::shrink(0, 0, 0, 0, root);
+        let sc = derive_key(k);
+        assert_eq!(sc.np, 2);
+        assert_eq!(sc.m, 1);
+        assert_eq!(sc.fault_scale, 25);
+        let p = effective_profile(&sc, FaultKind::Heavy).unwrap();
+        let full = FaultProfile::heavy(sc.fault_seed);
+        assert!(p.drop_prob < full.drop_prob);
+    }
+
+    #[test]
+    fn shrink_candidates_strictly_reduce() {
+        let mut k = key::shrink(Axis::Storm as u64, 5, 3, 3, 99);
+        // Walking first candidates repeatedly must terminate (every step
+        // reduces an index or drops the axis).
+        let mut steps = 0;
+        loop {
+            let cands = shrink_candidates(k);
+            match cands.first() {
+                Some(&c) => {
+                    assert_ne!(c, k);
+                    k = c;
+                }
+                None => break,
+            }
+            steps += 1;
+            assert!(steps < 64, "shrink walk did not terminate");
+        }
+        let (_, np_idx, m_idx, scale_idx) = key::shrink_parts(k);
+        assert_eq!((np_idx, m_idx, scale_idx), (0, 0, 0));
+    }
+
+    #[test]
+    fn a_mutated_storm_key_passes_invariants() {
+        let o = run_key(key::mutated(Axis::Storm, 0, 11), FaultKind::Light);
+        assert!(o.violations.is_empty(), "{:?}", o.violations);
+        assert_eq!(o.program, "storm");
+    }
+
+    #[test]
+    fn a_data_jitter_key_passes_invariants() {
+        let o = run_key(key::mutated(Axis::DataJitter, 5, 4), FaultKind::Heavy);
+        assert!(o.violations.is_empty(), "{:?}", o.violations);
+    }
+
+    #[test]
+    fn describe_key_names_the_scenario() {
+        let d = describe_key(key::mutated(Axis::Storm, 2, 17), FaultKind::Heavy);
+        assert!(d.contains("storm"), "{d}");
+        assert!(d.contains("faults"), "{d}");
+        let d0 = describe_key(42, FaultKind::None);
+        assert!(d0.contains("plain seed 42"), "{d0}");
     }
 }

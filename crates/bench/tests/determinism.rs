@@ -237,6 +237,265 @@ fn metrics_snapshot_is_identical_under_jobs_1_and_n() {
     );
 }
 
+// ---------------------------------------------------------------------------
+// Campaign engine: shrinking, resume determinism, pinned summary metrics.
+// ---------------------------------------------------------------------------
+
+use std::path::{Path, PathBuf};
+use viampi_bench::campaign::{run_campaign, CampaignConfig, CampaignState};
+use viampi_bench::simcheck::{key, run_key, shrink_key, Axis, FaultKind};
+
+/// Fresh scratch directory under the system temp dir.
+fn scratch_dir(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("viampi_campaign_{}_{label}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Write a small-geometry campaign template (64 roots per batch, 8 keys
+/// per shard) so the test walks root *and* child rounds in a few seconds.
+fn small_state(dir: &Path) -> PathBuf {
+    let mut st = CampaignState::new(FaultKind::Heavy, 0);
+    st.batch_roots = 64;
+    st.shard_size = 8;
+    st.round_keys = (0..64).collect();
+    let path = dir.join("state.json");
+    st.checkpoint(&path).unwrap();
+    path
+}
+
+fn campaign_cfg(dir: &Path, budget: u64) -> CampaignConfig {
+    CampaignConfig {
+        state_path: dir.join("state.json"),
+        kind: FaultKind::Heavy,
+        seeds_budget: Some(budget),
+        timebox: None,
+        corpus_path: Some(dir.join("corpus.seeds")),
+    }
+}
+
+/// Run a campaign through `budget_steps` successive invocations (each one
+/// resumes the previous state file) and return the final state-file and
+/// corpus-file bytes.
+fn campaign_bytes(label: &str, budget_steps: &[u64], jobs: usize) -> (String, Option<Vec<u8>>) {
+    let dir = scratch_dir(label);
+    small_state(&dir);
+    runner::set_jobs(jobs);
+    for &budget in budget_steps {
+        run_campaign(&campaign_cfg(&dir, budget)).unwrap();
+    }
+    runner::set_jobs(0);
+    let state = std::fs::read_to_string(dir.join("state.json")).unwrap();
+    let corpus = std::fs::read(dir.join("corpus.seeds")).ok();
+    let _ = std::fs::remove_dir_all(&dir);
+    (state, corpus)
+}
+
+#[test]
+fn shrinker_minimum_still_fails_and_is_deterministic() {
+    // Start from a large-np mutated key and "fail" whenever the scenario
+    // keeps np >= 8 — the shrinker must walk the ladder down to the
+    // smallest still-failing scenario, identically on every run.
+    let start = key::mutated(Axis::NpLarge, 7, 1234);
+    let mut fails = |k: u64| run_key(k, FaultKind::None).np >= 8;
+    assert!(fails(start), "sanity: the starting key must fail");
+    let (min_a, steps_a) = shrink_key(start, &mut fails);
+    let (min_b, steps_b) = shrink_key(start, &mut fails);
+    assert_eq!((min_a, steps_a), (min_b, steps_b), "shrinking must replay");
+    assert!(steps_a > 0, "a large-np start must shrink at least once");
+    let min_run = run_key(min_a, FaultKind::None);
+    assert!(min_run.np >= 8, "the minimized key must still fail");
+    assert_eq!(
+        min_run.np, 8,
+        "np ladder must reach the smallest failing band"
+    );
+    assert!(
+        run_key(start, FaultKind::None).np >= min_run.np,
+        "shrinking must never grow the scenario"
+    );
+}
+
+#[test]
+fn shrinker_keeps_the_original_when_nothing_smaller_fails() {
+    // A predicate that only the original key satisfies: no candidate can
+    // replace it, and the result replays the original exactly.
+    let start = key::mutated(Axis::Storm, 3, 99);
+    let mut only_start = |k: u64| k == start;
+    let (min, _steps) = shrink_key(start, &mut only_start);
+    assert_eq!(min, start);
+}
+
+#[test]
+fn campaign_resume_matches_one_shot_at_any_jobs() {
+    // The tentpole contract: a campaign stopped at a budget boundary and
+    // resumed to a larger budget must leave byte-identical state and
+    // corpus files to a one-shot run at the larger budget — at any worker
+    // count, and identically across worker counts.
+    let (one_shot_1, corpus_os_1) = campaign_bytes("oneshot_j1", &[150], 1);
+    let (resumed_1, corpus_re_1) = campaign_bytes("resumed_j1", &[70, 150], 1);
+    assert_eq!(
+        one_shot_1, resumed_1,
+        "resume must not change the state bytes"
+    );
+    assert_eq!(
+        corpus_os_1, corpus_re_1,
+        "resume must not change the corpus"
+    );
+    let (one_shot_4, _) = campaign_bytes("oneshot_j4", &[150], 4);
+    let (resumed_4, corpus_re_4) = campaign_bytes("resumed_j4", &[70, 150], 4);
+    assert_eq!(
+        one_shot_4, resumed_4,
+        "resume must not change the state bytes"
+    );
+    assert_eq!(
+        one_shot_1, one_shot_4,
+        "campaign state must not depend on the worker count"
+    );
+    assert_eq!(
+        corpus_os_1, corpus_re_4,
+        "corpus must not depend on the worker count"
+    );
+}
+
+#[test]
+fn campaign_summary_metrics_are_pinned() {
+    // The summary publishes its counters through the `metric_defs!`
+    // registry: the dotted names are part of the interface and must not
+    // drift, and the values must equal the cumulative state counters.
+    let dir = scratch_dir("metrics");
+    small_state(&dir);
+    runner::set_jobs(1);
+    let report = run_campaign(&campaign_cfg(&dir, 40)).unwrap();
+    runner::set_jobs(0);
+    let names: Vec<&str> = report
+        .summary
+        .metrics
+        .iter()
+        .map(|m| m.name.as_str())
+        .collect();
+    assert_eq!(
+        names,
+        [
+            "sim.campaign.seeds_run",
+            "sim.campaign.coverage_signatures",
+            "sim.campaign.derived_seeds",
+            "sim.campaign.shrink_steps",
+            "sim.campaign.violations",
+        ]
+    );
+    let value = |n: &str| {
+        report
+            .summary
+            .metrics
+            .iter()
+            .find(|m| m.name.ends_with(n))
+            .unwrap()
+            .value
+    };
+    assert_eq!(value("seeds_run"), report.state.seeds_run);
+    assert_eq!(
+        value("coverage_signatures"),
+        report.state.coverage.len() as u64
+    );
+    assert_eq!(value("derived_seeds"), report.state.derived_seeds);
+    assert_eq!(value("violations"), report.state.violations);
+    assert!(report.state.seeds_run >= 40, "the budget was reached");
+    let json = to_string_pretty(&report.summary);
+    assert!(
+        json.contains("\"sim.campaign.seeds_run\""),
+        "summary JSON embeds the names"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn killed_campaign_resumes_to_one_shot_bytes() {
+    // Kill a real campaign process mid-flight (SIGKILL, no cleanup), then
+    // resume its checkpoint to a fixed budget: state and corpus must be
+    // byte-identical to a never-killed run at the same budget.
+    let dir = scratch_dir("killed");
+    let state_path = dir.join("state.json");
+    let corpus_path = dir.join("corpus.seeds");
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_simcheck"))
+        .args([
+            "--campaign",
+            state_path.to_str().unwrap(),
+            "--seeds",
+            "100000",
+            "--jobs",
+            "2",
+            "--corpus",
+            corpus_path.to_str().unwrap(),
+            "--summary-out",
+            dir.join("summary.json").to_str().unwrap(),
+        ])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .unwrap();
+    // Wait for at least two committed shards, then kill without warning.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(120);
+    loop {
+        if let Ok(text) = std::fs::read_to_string(&state_path) {
+            if let Ok(st) = CampaignState::from_json(&text) {
+                if st.seeds_run >= 64 {
+                    break;
+                }
+            }
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "campaign process made no progress"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    child.kill().unwrap();
+    let _ = child.wait();
+    let killed_at = CampaignState::from_json(&std::fs::read_to_string(&state_path).unwrap())
+        .unwrap()
+        .seeds_run;
+    if killed_at >= 300 {
+        // The process outran the resume budget before the kill landed; the
+        // prefix property can't be checked against a 300-seed one-shot.
+        let _ = std::fs::remove_dir_all(&dir);
+        return;
+    }
+    // Resume the killed checkpoint to 300 seeds...
+    runner::set_jobs(1);
+    run_campaign(&CampaignConfig {
+        state_path: state_path.clone(),
+        kind: FaultKind::Heavy,
+        seeds_budget: Some(300),
+        timebox: None,
+        corpus_path: Some(corpus_path.clone()),
+    })
+    .unwrap();
+    // ...and run a never-killed 300-seed campaign from scratch.
+    let fresh = scratch_dir("fresh");
+    run_campaign(&CampaignConfig {
+        state_path: fresh.join("state.json"),
+        kind: FaultKind::Heavy,
+        seeds_budget: Some(300),
+        timebox: None,
+        corpus_path: Some(fresh.join("corpus.seeds")),
+    })
+    .unwrap();
+    runner::set_jobs(0);
+    assert_eq!(
+        std::fs::read_to_string(&state_path).unwrap(),
+        std::fs::read_to_string(fresh.join("state.json")).unwrap(),
+        "killed-and-resumed state must match the one-shot bytes"
+    );
+    assert_eq!(
+        std::fs::read(&corpus_path).ok(),
+        std::fs::read(fresh.join("corpus.seeds")).ok(),
+        "killed-and-resumed corpus must match the one-shot bytes"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&fresh);
+}
+
 #[test]
 fn outcome_matches_with_fast_path_disabled_if_env_set() {
     // When the whole test process runs under VIAMPI_NO_FASTPATH=1 this

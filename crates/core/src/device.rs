@@ -48,6 +48,7 @@ pub mod mpi_metrics {
         gauges {
             INIT_TIME_NS => "mpi.init_time_ns": "Virtual time spent inside MPI_Init, in nanoseconds",
             CONNS_AT_INIT => "mpi.conns_at_init": "Connections established during MPI_Init",
+            CONN_RETRY_DEPTH_MAX => "mpi.conn_retry_depth_max": "Deepest retry attempt reached on any one channel (fault injection)",
         }
         hists {
             EAGER_BYTES => "mpi.eager_bytes": "Payload size distribution of eager sends",
@@ -223,6 +224,9 @@ pub struct MpiStats {
     pub conn_retries: u64,
     /// Channels failed after exhausting the retry budget.
     pub conn_failures: u64,
+    /// Deepest retry attempt reached on any single channel (high-water mark
+    /// across peers; only non-zero under fault injection).
+    pub conn_retry_depth_max: u64,
 }
 
 /// The per-rank ADI device.
@@ -310,6 +314,7 @@ impl Device {
             credit_growths: self.metrics.counter(m::CREDIT_GROWTHS),
             conn_retries: self.metrics.counter(m::CONN_RETRIES),
             conn_failures: self.metrics.counter(m::CONN_FAILURES),
+            conn_retry_depth_max: self.metrics.gauge(m::CONN_RETRY_DEPTH_MAX),
         }
     }
 
@@ -529,6 +534,8 @@ impl Device {
                 Err(ViaError::TransientFailure) => {
                     attempt += 1;
                     self.metrics.inc(mpi_metrics::CONN_RETRIES);
+                    self.metrics
+                        .gauge_max(mpi_metrics::CONN_RETRY_DEPTH_MAX, attempt as u64);
                     self.trace(crate::trace::TraceKind::ConnRetry { peer, attempt });
                     if attempt > self.cfg.conn_retry_max {
                         return Err(ViaError::TransientFailure);
@@ -1065,6 +1072,8 @@ impl Device {
                 } else {
                     let attempt = self.channels[peer].conn_attempts + 1;
                     self.channels[peer].conn_attempts = attempt;
+                    self.metrics
+                        .gauge_max(mpi_metrics::CONN_RETRY_DEPTH_MAX, attempt as u64);
                     match self.port.retry_connect(vi) {
                         Ok(true) => {
                             self.metrics.inc(mpi_metrics::CONN_RETRIES);

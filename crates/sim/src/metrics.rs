@@ -152,6 +152,23 @@ pub mod engine {
     }
 }
 
+/// Counters of the simcheck campaign engine (seed sweeps, coverage-directed
+/// exploration, violation shrinking). Summed across shards into the campaign
+/// summary JSON.
+pub mod campaign {
+    crate::metric_defs! {
+        counters {
+            SEEDS_RUN => "sim.campaign.seeds_run": "Scenario keys executed (roots, children and shrink probes)",
+            COVERAGE_SIGNATURES => "sim.campaign.coverage_signatures": "Distinct coverage signatures in the cumulative map",
+            DERIVED_SEEDS => "sim.campaign.derived_seeds": "Child keys spawned from rare-signature hits",
+            SHRINK_STEPS => "sim.campaign.shrink_steps": "Shrink candidate runs attempted while minimizing violations",
+            VIOLATIONS => "sim.campaign.violations": "Violating scenario keys found (pre-shrink)",
+        }
+        gauges {}
+        hists {}
+    }
+}
+
 /// One log₂-bucket histogram: `buckets[i]` counts observations whose value
 /// has `i` significant bits (bucket 0 holds zeros).
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -427,7 +427,12 @@ impl Fabric {
                 kind,
             },
         );
-        let arrive = tx_done + self.profile.wire_latency + self.profile.nic_rx;
+        let mut arrive = tx_done + self.profile.wire_latency + self.profile.nic_rx;
+        if let Some(inj) = self.faults.as_mut() {
+            // Lossless data-plane jitter: may stretch this packet's arrival
+            // but never reorders it against earlier packets on the same VI.
+            arrive = inj.wire_arrival((node, vi), arrive);
+        }
         api.schedule_at(arrive, FabricEvent::Deliver { pkt });
     }
 

@@ -8,13 +8,23 @@
 //! creation — driven entirely by a [`SplitMix64`] stream seeded from the
 //! profile, so every observed failure is replayable from its seed.
 //!
-//! Scope: only *connection* traffic (peer-to-peer requests and establishment
-//! notifications) and VI creation are faulted. Data-transfer packets stay
-//! reliable, as on a real VIA fabric (VIA assumes a reliable delivery
-//! network; connection management is where the races and timeouts live).
+//! Scope: *connection* traffic (peer-to-peer requests and establishment
+//! notifications) and VI creation can be dropped, duplicated, delayed and
+//! reordered. Data-transfer packets are never lost or duplicated, as on a
+//! real VIA fabric (VIA assumes a reliable delivery network) — but they may
+//! be **losslessly jittered**: an optional delay/reorder perturbation
+//! stretches individual wire arrivals so cross-VI interleavings at the
+//! receiver (unexpected-queue ordering, `ANY_SOURCE` match order,
+//! credit-return timing) are explored under adversarial schedules. Per-VI
+//! in-order delivery is preserved by construction: a jittered packet never
+//! overtakes an earlier packet on the same VI (the MPI layer's
+//! non-overtaking and rendezvous-FIN-after-data guarantees depend on it).
+//! The jitter draws from its own RNG stream, so enabling it never perturbs
+//! the connection-fault decisions of an existing replay seed.
 
-use crate::types::NodeId;
-use viampi_sim::{SimDuration, SplitMix64};
+use crate::types::{NodeId, ViId};
+use std::collections::HashMap;
+use viampi_sim::{SimDuration, SimTime, SplitMix64};
 
 /// Fault rates for one simulation run. All probabilities are in `[0, 1]`
 /// and are rolled independently per connection packet.
@@ -37,6 +47,15 @@ pub struct FaultProfile {
     pub delay_max_us: u64,
     /// Probability a VI creation fails transiently.
     pub vi_fail_prob: f64,
+    /// Probability a *data* wire packet is delayed by up to
+    /// [`FaultProfile::data_delay_max_us`]. Lossless: data packets are never
+    /// dropped or duplicated, and per-VI delivery order is preserved.
+    pub data_delay_prob: f64,
+    /// Probability a data wire packet gets an overtaking-scale delay (up to
+    /// 4 × `data_delay_max_us`), reordering it against *other* VIs' traffic.
+    pub data_reorder_prob: f64,
+    /// Maximum injected data-packet delay, in microseconds.
+    pub data_delay_max_us: u64,
 }
 
 impl FaultProfile {
@@ -50,6 +69,9 @@ impl FaultProfile {
             reorder_prob: 0.0,
             delay_max_us: 0,
             vi_fail_prob: 0.0,
+            data_delay_prob: 0.0,
+            data_reorder_prob: 0.0,
+            data_delay_max_us: 0,
         }
     }
 
@@ -63,6 +85,9 @@ impl FaultProfile {
             reorder_prob: 0.05,
             delay_max_us: 300,
             vi_fail_prob: 0.01,
+            data_delay_prob: 0.0,
+            data_reorder_prob: 0.0,
+            data_delay_max_us: 0,
         }
     }
 
@@ -76,7 +101,20 @@ impl FaultProfile {
             reorder_prob: 0.15,
             delay_max_us: 2000,
             vi_fail_prob: 0.05,
+            data_delay_prob: 0.0,
+            data_reorder_prob: 0.0,
+            data_delay_max_us: 0,
         }
+    }
+
+    /// `self` with lossless data-plane jitter enabled at the given rates.
+    /// The connection-fault decision stream is unaffected (data jitter draws
+    /// from a separate RNG stream), so existing seeds replay identically.
+    pub fn with_data_jitter(mut self, delay_prob: f64, reorder_prob: f64, max_us: u64) -> Self {
+        self.data_delay_prob = delay_prob;
+        self.data_reorder_prob = reorder_prob;
+        self.data_delay_max_us = max_us;
+        self
     }
 }
 
@@ -93,6 +131,10 @@ pub struct FaultStats {
     pub conn_reordered: u64,
     /// VI creations failed transiently.
     pub vi_create_failures: u64,
+    /// Data wire packets delayed (losslessly).
+    pub data_delayed: u64,
+    /// Data wire packets given an overtaking-scale delay.
+    pub data_reordered: u64,
 }
 
 impl FaultStats {
@@ -103,6 +145,37 @@ impl FaultStats {
             + self.conn_delayed
             + self.conn_reordered
             + self.vi_create_failures
+            + self.data_delayed
+            + self.data_reordered
+    }
+
+    /// Compact letter-per-category mask of fault kinds that actually fired,
+    /// for coverage signatures: `d`rop, d`u`plicate, de`l`ay, `r`eorder,
+    /// `v`i-failure, data-`j`itter. `-` when nothing fired.
+    pub fn fired_mask(&self) -> String {
+        let mut m = String::new();
+        if self.conn_dropped > 0 {
+            m.push('d');
+        }
+        if self.conn_duplicated > 0 {
+            m.push('u');
+        }
+        if self.conn_delayed > 0 {
+            m.push('l');
+        }
+        if self.conn_reordered > 0 {
+            m.push('r');
+        }
+        if self.vi_create_failures > 0 {
+            m.push('v');
+        }
+        if self.data_delayed + self.data_reordered > 0 {
+            m.push('j');
+        }
+        if m.is_empty() {
+            m.push('-');
+        }
+        m
     }
 
     /// These counters as `fault.*` entries of the cross-layer metrics
@@ -116,6 +189,8 @@ impl FaultStats {
                 MetricEntry::add("fault.conn_delayed", self.conn_delayed),
                 MetricEntry::add("fault.conn_reordered", self.conn_reordered),
                 MetricEntry::add("fault.vi_create_failures", self.vi_create_failures),
+                MetricEntry::add("fault.data_delayed", self.data_delayed),
+                MetricEntry::add("fault.data_reordered", self.data_reordered),
             ],
         }
     }
@@ -126,6 +201,14 @@ impl FaultStats {
 pub struct FaultInjector {
     profile: FaultProfile,
     rng: SplitMix64,
+    /// Separate stream for data-plane jitter so enabling it leaves the
+    /// connection-fault decision sequence (and thus every existing replay
+    /// seed's connection schedule) byte-identical.
+    data_rng: SplitMix64,
+    /// Highest arrival time already scheduled per source (node, VI): the
+    /// monotone floor that keeps jittered data packets from overtaking
+    /// earlier packets on the same VI.
+    data_floor: HashMap<(NodeId, ViId), SimTime>,
     stats: FaultStats,
 }
 
@@ -133,9 +216,12 @@ impl FaultInjector {
     /// Build an injector; the RNG stream is derived from `profile.seed`.
     pub fn new(profile: FaultProfile) -> Self {
         let rng = SplitMix64::new(profile.seed);
+        let data_rng = SplitMix64::new(profile.seed ^ 0xDA7A_11AB_1E5E_ED01);
         FaultInjector {
             profile,
             rng,
+            data_rng,
+            data_floor: HashMap::new(),
             stats: FaultStats::default(),
         }
     }
@@ -188,11 +274,46 @@ impl FaultInjector {
         }
     }
 
+    /// Perturb the arrival time of one data wire packet sent on `(node, vi)`.
+    ///
+    /// Lossless and per-VI order-preserving: the returned time is the rolled
+    /// (possibly jittered) arrival clamped up to this VI's monotone floor, so
+    /// a later packet on the same VI never lands before an earlier one. With
+    /// both data probabilities zero this is the identity and touches no state.
+    pub fn wire_arrival(&mut self, src: (NodeId, ViId), arrive: SimTime) -> SimTime {
+        if self.profile.data_delay_prob <= 0.0 && self.profile.data_reorder_prob <= 0.0 {
+            return arrive;
+        }
+        let mut t = arrive;
+        if self.data_rng.next_f64() < self.profile.data_delay_prob {
+            t += self.data_jitter(self.profile.data_delay_max_us);
+            self.stats.data_delayed += 1;
+        }
+        if self.data_rng.next_f64() < self.profile.data_reorder_prob {
+            t += self.data_jitter(self.profile.data_delay_max_us.saturating_mul(4));
+            self.stats.data_reordered += 1;
+        }
+        let floor = self.data_floor.entry(src).or_insert(t);
+        if t < *floor {
+            t = *floor;
+        } else {
+            *floor = t;
+        }
+        t
+    }
+
     fn jitter(&mut self, max_us: u64) -> SimDuration {
         if max_us == 0 {
             return SimDuration::ZERO;
         }
         SimDuration::nanos(self.rng.next_below(max_us * 1000))
+    }
+
+    fn data_jitter(&mut self, max_us: u64) -> SimDuration {
+        if max_us == 0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration::nanos(self.data_rng.next_below(max_us * 1000))
     }
 }
 
@@ -247,6 +368,69 @@ mod tests {
                 + s.conn_reordered
                 + s.vi_create_failures
         );
+    }
+
+    #[test]
+    fn data_jitter_preserves_per_vi_order() {
+        let profile = FaultProfile::none(42).with_data_jitter(0.5, 0.2, 500);
+        let mut inj = FaultInjector::new(profile);
+        let mut last = [SimTime::ZERO; 3];
+        for i in 0..300u64 {
+            let vi = (i % 3) as u32;
+            let base = SimTime::ZERO + SimDuration::micros(i * 10);
+            let t = inj.wire_arrival((0, ViId(vi)), base);
+            assert!(t >= base, "jitter only ever adds latency");
+            assert!(t >= last[vi as usize], "per-VI arrivals stay monotone");
+            last[vi as usize] = t;
+        }
+        let s = inj.stats();
+        assert!(s.data_delayed > 0);
+        assert!(s.data_reordered > 0);
+    }
+
+    #[test]
+    fn data_jitter_disabled_is_identity() {
+        let mut inj = FaultInjector::new(FaultProfile::heavy(5));
+        for i in 0..100u64 {
+            let base = SimTime::ZERO + SimDuration::micros(i);
+            assert_eq!(inj.wire_arrival((1, ViId(0)), base), base);
+        }
+        assert_eq!(inj.stats().data_delayed, 0);
+        assert_eq!(inj.stats().data_reordered, 0);
+    }
+
+    #[test]
+    fn data_jitter_does_not_perturb_conn_stream() {
+        let plain = {
+            let mut inj = FaultInjector::new(FaultProfile::heavy(11));
+            (0..200)
+                .map(|_| inj.conn_packet(SimDuration::micros(12)))
+                .collect::<Vec<_>>()
+        };
+        let with_jitter = {
+            let mut inj =
+                FaultInjector::new(FaultProfile::heavy(11).with_data_jitter(0.9, 0.5, 800));
+            (0..200)
+                .map(|i| {
+                    // Interleave data traffic; it must not consume conn RNG draws.
+                    inj.wire_arrival((0, ViId(0)), SimTime::ZERO + SimDuration::micros(i));
+                    inj.conn_packet(SimDuration::micros(12))
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(plain, with_jitter);
+    }
+
+    #[test]
+    fn fired_mask_reflects_categories() {
+        let inj = FaultInjector::new(FaultProfile::none(1));
+        assert_eq!(inj.stats().fired_mask(), "-");
+        let s = FaultStats {
+            conn_dropped: 1,
+            data_delayed: 2,
+            ..FaultStats::default()
+        };
+        assert_eq!(s.fired_mask(), "dj");
     }
 
     #[test]

@@ -17,8 +17,17 @@ cargo build --release --offline --locked
 echo "== tier-1: cargo test -q (offline, full workspace)"
 cargo test -q --offline --locked --workspace
 
-echo "== simcheck smoke (fixed seeds, heavy faults)"
+echo "== simcheck campaign frontier (timeboxed, resumes committed coverage)"
+# Work on a scratch copy: the committed state is the frontier baseline and
+# only moves when a maintainer commits a refreshed map. The stage always
+# replays the full minimized corpus (tests/corpus/minimized.seeds, if any)
+# before exploring, then pushes the coverage frontier for a fixed wall
+# budget; any new violation is shrunk, appended to the corpus, and fails
+# the gate.
+mkdir -p target/campaign
+cp tests/corpus/campaign_state.json target/campaign/state.json
 cargo run -q --release --offline --locked -p viampi-bench --bin simcheck -- \
-    --seeds 150 --start 0 --fault heavy
+    --campaign target/campaign/state.json --timebox 20 --fault heavy \
+    --summary-out target/campaign/summary.json
 
 echo "all checks passed"
