@@ -168,6 +168,39 @@ fn bench_engine(b: &mut Bench) {
         }
         eng.run().unwrap()
     });
+    // A 1M-step pure-compute stretch. With coalescing (default) each
+    // advance is two relaxed atomic adds and the engine sees a single
+    // authoritative flush; with VIAMPI_NO_COALESCE=1 each one is a
+    // scheduler interaction. This is the fig6 NPB kernel inner loop in
+    // miniature.
+    b.run("compute_coalesce_1m", || {
+        let mut eng = Engine::new(Nop);
+        eng.spawn("p", |ctx| {
+            for _ in 0..1_000_000u32 {
+                ctx.advance(SimDuration::nanos(3));
+            }
+        });
+        eng.run().unwrap()
+    });
+    // An 8-process compute+token ring under the conservative parallel
+    // mode (VIAMPI_PAR=8 equivalent): guards the pre-release/promotion
+    // overhead against the serial schedule it must reproduce exactly.
+    b.run("par_ring_np8", || {
+        let mut eng = Engine::new(Nop);
+        eng.set_par(Some(8));
+        eng.set_lookahead(SimDuration::micros(2));
+        for p in 0..8 {
+            eng.spawn(format!("p{p}"), |ctx| {
+                for _ in 0..200 {
+                    for _ in 0..16 {
+                        ctx.advance(SimDuration::nanos(40));
+                    }
+                    ctx.yield_now();
+                }
+            });
+        }
+        eng.run().unwrap()
+    });
 }
 
 fn main() {

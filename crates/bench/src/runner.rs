@@ -196,6 +196,12 @@ pub struct PerfRecord {
     pub events_per_sec: f64,
     /// Scheduler round trips skipped by the self-resume fast path.
     pub fast_resumes: u64,
+    /// Authoritative compute advances applied (each is one coalesced flush
+    /// of a pure-compute stretch; the comm-side complement of `events`).
+    pub compute_events: u64,
+    /// `advance()` calls absorbed into deferred clocks without touching the
+    /// scheduler — the work the coalescing optimization eliminated.
+    pub coalesced_advances: u64,
 }
 
 crate::impl_json!(PerfRecord {
@@ -206,6 +212,8 @@ crate::impl_json!(PerfRecord {
     events,
     events_per_sec,
     fast_resumes,
+    compute_events,
+    coalesced_advances,
 });
 
 static PERF_LOG: Mutex<Vec<PerfRecord>> = Mutex::new(Vec::new());
@@ -234,6 +242,8 @@ pub fn timed<R>(name: &str, f: impl FnOnce() -> R) -> R {
             0.0
         },
         fast_resumes: after.fast_resumes - before.fast_resumes,
+        compute_events: after.compute_flushes - before.compute_flushes,
+        coalesced_advances: after.coalesced_advances - before.coalesced_advances,
     };
     PERF_LOG
         .lock()

@@ -120,6 +120,10 @@ struct Scenario {
     drop_override: Option<f64>,
     /// Data-plane jitter `(delay_prob, reorder_prob, delay_max_us)`.
     data_jitter: Option<(f64, f64, u64)>,
+    /// Engine worker width (1 = serial; the par-engine axis raises it).
+    par_workers: usize,
+    /// Compute coalescing (the par-engine axis also fuzzes it off).
+    coalesce: bool,
 }
 
 /// Derive the scenario for `seed` (a pure function of the seed).
@@ -160,6 +164,11 @@ fn derive(seed: u64) -> Scenario {
         fault_scale: 100,
         drop_override: None,
         data_jitter: None,
+        // Engine-mode fields are constants here (no new draws): the plain
+        // draw sequence is frozen, and byte-identity across engine modes is
+        // its own invariant, so only the par-engine axis varies these.
+        par_workers: 1,
+        coalesce: true,
     }
 }
 
@@ -263,11 +272,15 @@ pub enum Axis {
     DataJitter = 6,
     /// Dynamic flow control on, with enough traffic to trigger growth.
     DynCredits = 7,
+    /// Conservative parallel engine (`VIAMPI_PAR` 2–4), with and without
+    /// compute coalescing: every invariant must hold — and every outcome
+    /// stay byte-identical to serial — under concurrent pre-release.
+    ParEngine = 8,
 }
 
 impl Axis {
     /// Every axis, in tag order.
-    pub const ALL: [Axis; 7] = [
+    pub const ALL: [Axis; 8] = [
         Axis::NpLarge,
         Axis::Storm,
         Axis::RetryEdge,
@@ -275,6 +288,7 @@ impl Axis {
         Axis::ConnWait,
         Axis::DataJitter,
         Axis::DynCredits,
+        Axis::ParEngine,
     ];
 
     /// Axis for a key tag in `1..=7`.
@@ -292,6 +306,7 @@ impl Axis {
             Axis::ConnWait => "conn-wait",
             Axis::DataJitter => "data-jitter",
             Axis::DynCredits => "dyn-credits",
+            Axis::ParEngine => "par-engine",
         }
     }
 
@@ -300,7 +315,7 @@ impl Axis {
     pub fn weight(self) -> u32 {
         match self {
             Axis::NpLarge | Axis::Storm | Axis::RetryEdge => 4,
-            Axis::DataJitter => 2,
+            Axis::DataJitter | Axis::ParEngine => 2,
             Axis::Msgs | Axis::ConnWait | Axis::DynCredits => 1,
         }
     }
@@ -371,6 +386,10 @@ fn apply_axis(mut sc: Scenario, axis: Axis, variant: u32, k: u64) -> Scenario {
         Axis::DynCredits => {
             sc.dynamic_credits = true;
             sc.m = 3 + variant % 6;
+        }
+        Axis::ParEngine => {
+            sc.par_workers = 2 + (variant as usize % 3);
+            sc.coalesce = (variant / 3).is_multiple_of(2);
         }
     }
     sc
@@ -891,6 +910,8 @@ pub fn run_key(k: u64, kind: FaultKind) -> SeedOutcome {
         cfg.faults = effective_profile(&sc, kind);
         cfg.sched_seed = Some(sc.sched_seed);
         cfg.dynamic_credits = sc.dynamic_credits;
+        cfg.par_workers = Some(sc.par_workers);
+        cfg.coalesce = Some(sc.coalesce);
     }
     let sc2 = sc.clone();
     let report = uni
@@ -1213,6 +1234,11 @@ mod tests {
         assert!(dp > 0.0 && rp > 0.0 && max >= 200);
         let dync = derive_key(key::mutated(Axis::DynCredits, 0, root));
         assert!(dync.dynamic_credits);
+        for variant in 0..6 {
+            let par = derive_key(key::mutated(Axis::ParEngine, variant, root));
+            assert!((2..=4).contains(&par.par_workers));
+        }
+        assert!(!derive_key(key::mutated(Axis::ParEngine, 3, root)).coalesce);
         // Every mutated key reseeds the schedule: same topology axis,
         // different race.
         assert_ne!(np_large.sched_seed, base.sched_seed);
@@ -1265,6 +1291,24 @@ mod tests {
     fn a_data_jitter_key_passes_invariants() {
         let o = run_key(key::mutated(Axis::DataJitter, 5, 4), FaultKind::Heavy);
         assert!(o.violations.is_empty(), "{:?}", o.violations);
+    }
+
+    #[test]
+    fn a_par_engine_key_passes_invariants_and_replays() {
+        // Variant 1 → 3 workers with coalescing on; variant 3 → 2 workers
+        // with coalescing off. Both must satisfy every invariant and
+        // replay byte-identically despite concurrent pre-release.
+        for variant in [1u32, 3] {
+            let k = key::mutated(Axis::ParEngine, variant, 23);
+            let a = run_key(k, FaultKind::Light);
+            assert!(a.violations.is_empty(), "{:?}", a.violations);
+            let b = run_key(k, FaultKind::Light);
+            assert_eq!(
+                crate::json::to_string_pretty(&a),
+                crate::json::to_string_pretty(&b),
+                "parallel-engine key {k} must replay"
+            );
+        }
     }
 
     #[test]

@@ -496,6 +496,101 @@ fn killed_campaign_resumes_to_one_shot_bytes() {
     let _ = std::fs::remove_dir_all(&fresh);
 }
 
+// ---------------------------------------------------------------------------
+// Engine modes: compute coalescing and the conservative parallel scheduler.
+// ---------------------------------------------------------------------------
+
+/// The fig4 barrier run under an explicit engine-mode configuration
+/// (overrides beat the `VIAMPI_PAR`/`VIAMPI_NO_COALESCE` environment, so
+/// these tests are race-free under any test-harness parallelism).
+fn barrier_run_modes(
+    np: usize,
+    par: Option<usize>,
+    coalesce: Option<bool>,
+) -> RunReport<Option<f64>> {
+    let mut uni = Universe::new(np, Device::Clan, ConnMode::OnDemand, WaitPolicy::Polling);
+    uni.config_mut().par_workers = par;
+    uni.config_mut().coalesce = coalesce;
+    uni.run(|mpi| llc::barrier_latency(mpi, 300)).unwrap()
+}
+
+/// The CG class-S run under an explicit engine-mode configuration.
+fn npb_run_modes(par: Option<usize>, coalesce: Option<bool>) -> RunReport<Option<f64>> {
+    let mut uni = Universe::new(8, Device::Clan, ConnMode::OnDemand, WaitPolicy::Polling);
+    uni.config_mut().par_workers = par;
+    uni.config_mut().coalesce = coalesce;
+    uni.run(|mpi| {
+        let r = cg::run(mpi, Class::S);
+        Some(if r.verified { r.time_secs } else { f64::NAN })
+    })
+    .unwrap()
+}
+
+#[test]
+fn parallel_engine_matches_serial_for_fig4_and_cg() {
+    // The conservative parallel mode must reproduce the serial schedule
+    // exactly: same end times, event counts, per-rank finishes and result
+    // bits at every worker width.
+    let fig4 = fingerprint(&barrier_run_modes(16, Some(1), None));
+    let cg = fingerprint(&npb_run_modes(Some(1), None));
+    for par in [2usize, 4] {
+        assert_eq!(
+            fingerprint(&barrier_run_modes(16, Some(par), None)),
+            fig4,
+            "fig4 must be bit-identical at VIAMPI_PAR={par}"
+        );
+        assert_eq!(
+            fingerprint(&npb_run_modes(Some(par), None)),
+            cg,
+            "CG must be bit-identical at VIAMPI_PAR={par}"
+        );
+    }
+}
+
+#[test]
+fn coalescing_on_and_off_match_for_fig4_and_cg() {
+    // Lazy (deferred-clock) and eager compute charging are two encodings
+    // of the same virtual-time history.
+    assert_eq!(
+        fingerprint(&barrier_run_modes(16, None, Some(true))),
+        fingerprint(&barrier_run_modes(16, None, Some(false))),
+        "fig4 must not depend on compute coalescing"
+    );
+    assert_eq!(
+        fingerprint(&npb_run_modes(None, Some(true))),
+        fingerprint(&npb_run_modes(None, Some(false))),
+        "CG must not depend on compute coalescing"
+    );
+}
+
+#[test]
+fn engine_mode_counter_names_are_pinned() {
+    // The coalescing/parallel observability counters are part of the
+    // metrics interface: the dotted names must not drift, and a parallel
+    // run must actually exercise the pre-release machinery it reports.
+    let r = barrier_run_modes(8, Some(2), None);
+    let rendered = r.metrics.render();
+    for name in [
+        "sim.coalesce.advances",
+        "sim.coalesce.flushes",
+        "sim.direct.handoffs",
+        "sim.direct.self_resumes",
+        "sim.par.pre_releases",
+        "sim.par.promotions",
+        "sim.par.workers",
+    ] {
+        assert!(
+            rendered.contains(name),
+            "snapshot is missing {name}:\n{rendered}"
+        );
+    }
+    let repeat = barrier_run_modes(8, Some(2), None).metrics.render();
+    assert_eq!(
+        rendered, repeat,
+        "mode counters must replay bit-identically"
+    );
+}
+
 #[test]
 fn outcome_matches_with_fast_path_disabled_if_env_set() {
     // When the whole test process runs under VIAMPI_NO_FASTPATH=1 this

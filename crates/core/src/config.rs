@@ -150,6 +150,16 @@ pub struct MpiConfig {
     /// (see [`viampi_sim::Engine::set_sched_seed`]). `None` keeps the
     /// default round-robin order.
     pub sched_seed: Option<u64>,
+    /// Engine worker width for the conservative parallel mode (see
+    /// [`viampi_sim::Engine::set_par`]). `None` defers to the `VIAMPI_PAR`
+    /// environment variable (default 1 = serial). Results are bit-identical
+    /// at any width.
+    pub par_workers: Option<usize>,
+    /// Compute-time coalescing override (see
+    /// [`viampi_sim::Engine::set_coalesce`]). `None` defers to
+    /// `VIAMPI_NO_COALESCE` (default on). Results are bit-identical either
+    /// way.
+    pub coalesce: Option<bool>,
 }
 
 impl MpiConfig {
@@ -175,6 +185,8 @@ impl MpiConfig {
             conn_retry_max: 10,
             faults: None,
             sched_seed: None,
+            par_workers: None,
+            coalesce: None,
         }
     }
 

@@ -28,6 +28,62 @@
 //! would have. Virtual timestamps, event order and round-robin fairness are
 //! bit-identical with the fast path on or off; set `VIAMPI_NO_FASTPATH=1` to
 //! disable it (used to measure the win).
+//!
+//! ## Compute coalescing
+//!
+//! MPI kernels charge compute as streams of small [`ProcCtx::advance`] calls.
+//! Each one used to take the engine lock and run a scheduling decision, which
+//! dominated the wall clock of compute-heavy workloads. `advance` is now
+//! *lazy* by default: the duration accumulates into a per-process deferred
+//! counter (two relaxed atomic adds, no lock) and is flushed as a single
+//! authoritative advance at the next world interaction —
+//! [`ProcCtx::with_world`], [`ProcCtx::block_on`], [`ProcCtx::yield_now`], or
+//! the end of the process body. [`ProcCtx::now`] reads through the deferred
+//! component, so timestamps taken mid-stretch stay exact. A stretch of N
+//! lazy advances is semantically one `advance` of the sum: the intermediate
+//! clock values are unobservable (the process touches no shared state in
+//! between), events still fire at their own due times before the flushed
+//! process resumes, and woken peers still resume at the wake time. Set
+//! `VIAMPI_NO_COALESCE=1` (or [`Engine::set_coalesce`]) to charge eagerly;
+//! results are bit-identical either way because the equal-clock tie-break
+//! never looks at compute-parked grants (see below).
+//!
+//! ## Direct handoff
+//!
+//! Returning the token to the engine thread just so it can wake the next
+//! process costs two OS context switches per handoff. Instead, a yielding
+//! process now runs the scheduling decision *inline* while it still holds
+//! the lock: it applies due events, pops the next ready process and opens
+//! its gate directly (one switch), or — when event processing makes itself
+//! the next runnable process — simply keeps going (zero switches). The
+//! engine thread remains the coordinator for startup, termination, deadlock
+//! and teardown, and `VIAMPI_NO_FASTPATH=1` restores the fully conservative
+//! everything-through-the-engine reference path.
+//!
+//! ## Equal-clock ties and recency stamps
+//!
+//! The unseeded tie-break orders equal-clock processes least-recently-run
+//! first. "Run" counts *voluntary* scheduling points only — `yield_now`,
+//! `block_on` wake-ups and the initial grant — never compute-parked grants
+//! (`advance`). This makes the tie-break independent of how a compute
+//! stretch is segmented, which is exactly the invariant that keeps lazy and
+//! eager compute charging bit-identical.
+//!
+//! ## Conservative parallel mode (`VIAMPI_PAR=N`)
+//!
+//! Opt-in intra-run parallelism ([`Engine::set_par`] or `VIAMPI_PAR=N`).
+//! When the scheduler grants the token at global-minimum clock `t`, it may
+//! additionally *pre-release* up to `N-1` compute-parked ready processes
+//! whose clocks lie within `t + lookahead` (the minimum cross-rank influence
+//! latency of the device profile, [`Engine::set_lookahead`]). A pre-released
+//! process resumes on its own core but only accumulates deferred compute
+//! time; at its next world interaction it parks until the scheduler promotes
+//! it — i.e. pops it from the ready heap exactly where the serial schedule
+//! would have run it. Every lock-protected mutation therefore happens in the
+//! identical order as the serial engine, so parallel results are
+//! byte-identical at any `N`; the window only controls how much pure compute
+//! overlaps wall-clock-wise. Correctness does not depend on the lookahead
+//! value (promotion is the commit gate); `0` simply disables overlap.
 
 use crate::error::{BlockedProc, SimError};
 use crate::queue::EventQueue;
@@ -35,7 +91,7 @@ use crate::rng::SplitMix64;
 use crate::sync::{Condvar, Mutex, MutexGuard};
 use crate::time::{SimDuration, SimTime};
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Identifier of a spawned simulated process (dense, starting at 0 in spawn
@@ -106,13 +162,37 @@ enum ProcState {
     Panicked,
 }
 
+/// Why a process last left the Running state (what kind of ready-heap entry
+/// it owns). Voluntary parks stamp scheduling recency and are never
+/// pre-released; compute parks do neither — see the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ParkSite {
+    /// Parked by `advance` (a pure-compute yield). Eligible for parallel
+    /// pre-release; its grant does not update `last_run`.
+    Compute,
+    /// Parked by `yield_now`, `block_on`, or not yet run at all. Its grant
+    /// stamps `last_run` so equal-clock processes round-robin.
+    Voluntary,
+}
+
 struct ProcSlot {
     name: String,
     clock: SimTime,
     state: ProcState,
-    /// Engine pass on which this slot last ran; breaks clock ties
+    /// Engine pass on which this slot was last *voluntarily* scheduled
+    /// (`yield_now` / `block_on` / initial grant); breaks clock ties
     /// least-recently-run-first so equal-time processes round-robin.
+    /// Compute-parked grants do not stamp it, which keeps the tie-break —
+    /// and therefore every result — independent of how compute stretches
+    /// are segmented (lazy vs eager charging).
     last_run: u64,
+    /// Kind of the ready-heap entry this slot currently owns (valid while
+    /// `state == Ready`).
+    site: ParkSite,
+    /// Currently pre-released to run ahead (parallel mode): still in the
+    /// ready heap, executing pure compute concurrently with the token
+    /// holder, to be promoted when popped.
+    pre: bool,
 }
 
 /// Index min-heap over the Ready processes, keyed `(clock, last_run, pid)`.
@@ -159,6 +239,13 @@ impl ReadyHeap {
     #[inline]
     fn peek(&self) -> Option<(SimTime, u64, ProcId)> {
         self.heap.first().copied()
+    }
+
+    /// Iterate entries in internal array order (used by pre-release scans;
+    /// the order is deterministic because the push/pop sequence is).
+    #[inline]
+    fn iter(&self) -> std::slice::Iter<'_, (SimTime, u64, ProcId)> {
+        self.heap.iter()
     }
 
     fn push(&mut self, clock: SimTime, last_run: u64, pid: ProcId) {
@@ -222,9 +309,22 @@ struct Inner<W: World> {
     events_processed: u64,
     /// Token passes short-circuited by the self-resume fast path.
     fast_resumes: u64,
+    /// Token grants performed inline by a yielding process (direct handoff).
+    direct_handoffs: u64,
+    /// Inline scheduling decisions that handed the token straight back to
+    /// the yielding process after event processing (zero context switches).
+    direct_self: u64,
+    /// Processes released to run ahead inside the lookahead window.
+    pre_releases: u64,
+    /// Pre-released processes promoted to token holder.
+    promotions: u64,
+    /// Pre-released processes currently executing ahead of the token.
+    pre_live: usize,
     /// Reusable wake buffer so `with_world`/`block_on`/event dispatch do not
     /// allocate a fresh `Vec` per call.
     wake_scratch: Vec<ProcId>,
+    /// Reusable candidate buffer for pre-release scans.
+    pre_scratch: Vec<ProcId>,
     /// Schedule-exploration seed (see [`sched_key`]). Immutable after init.
     sched_seed: Option<u64>,
 }
@@ -253,20 +353,119 @@ impl<W: World> Inner<W> {
         }
     }
 
-    /// Stamp `pid` as scheduled for a new pass, exactly as the engine loop
-    /// would, without moving the token.
+    /// Grant `pid` a new pass exactly as the scheduler would, without moving
+    /// the token. `voluntary` grants stamp scheduling recency; compute
+    /// grants do not (see [`ParkSite`]).
     #[inline]
-    fn grant_self(&mut self, pid: ProcId) {
+    fn grant_self(&mut self, pid: ProcId, voluntary: bool) {
         self.pass += 1;
-        self.procs[pid].last_run = self.pass;
+        if voluntary {
+            self.procs[pid].last_run = self.pass;
+        }
         self.fast_resumes += 1;
     }
+}
+
+/// Outcome of one scheduling decision (see [`decide`]).
+enum Decision {
+    /// `pid` was stamped Running and `running` was set; the caller must open
+    /// its gate (unless the caller *is* `pid`).
+    Run(ProcId),
+    /// Nothing runnable: every process finished, the simulation deadlocked,
+    /// or it is poisoned — the engine thread sorts out which.
+    Idle,
+}
+
+/// One scheduling step, shared verbatim by the engine thread and the
+/// direct-handoff path: apply every event due at or before the next ready
+/// process's clock (events win ties), then grant the token to the head of
+/// the ready heap. In parallel mode the grant also pre-releases eligible
+/// compute-parked processes inside the lookahead window.
+fn decide<W: World>(g: &mut Inner<W>, shared: &Shared<W>) -> Decision {
+    loop {
+        if g.poisoned.is_some() {
+            return Decision::Idle;
+        }
+        let limit = g.ready.peek().map_or(SimTime(u64::MAX), |(tp, _, _)| tp);
+        if let Some((t, ev)) = g.queue.pop_due(limit) {
+            g.events_processed += 1;
+            let mut wakes = std::mem::take(&mut g.wake_scratch);
+            {
+                let mut api = Api {
+                    now: t,
+                    queue: &mut g.queue,
+                    wakes: &mut wakes,
+                };
+                g.world.handle_event(ev, &mut api);
+            }
+            apply_wakes(g, &shared.clocks, t, &wakes);
+            wakes.clear();
+            g.wake_scratch = wakes;
+            continue;
+        }
+        let Some((_, _, pid)) = g.ready.pop() else {
+            return Decision::Idle;
+        };
+        debug_assert_eq!(g.procs[pid].state, ProcState::Ready);
+        g.pass += 1;
+        let pass = g.pass;
+        let promoted = {
+            let slot = &mut g.procs[pid];
+            slot.state = ProcState::Running;
+            if slot.site == ParkSite::Voluntary {
+                slot.last_run = pass;
+            }
+            std::mem::replace(&mut slot.pre, false)
+        };
+        if promoted {
+            g.pre_live -= 1;
+            g.promotions += 1;
+        }
+        g.running = Some(pid);
+        if shared.par > 1 {
+            pre_release(g, shared, pid);
+        }
+        return Decision::Run(pid);
+    }
+}
+
+/// Release up to `par - 1` compute-parked ready processes whose clocks lie
+/// within the token holder's lookahead window so they overlap their pure
+/// compute with the serial schedule. They stay in the ready heap and are
+/// promoted (committed) only when popped, so which processes are released —
+/// and the window size itself — can never change results.
+fn pre_release<W: World>(g: &mut Inner<W>, shared: &Shared<W>, holder: ProcId) {
+    let budget = shared.par.saturating_sub(1 + g.pre_live);
+    if budget == 0 {
+        return;
+    }
+    let horizon = SimTime(g.procs[holder].clock.0.saturating_add(shared.lookahead_ns));
+    let mut picks = std::mem::take(&mut g.pre_scratch);
+    picks.clear();
+    for &(t, _, p) in g.ready.iter() {
+        if picks.len() >= budget {
+            break;
+        }
+        if t <= horizon && !g.procs[p].pre && g.procs[p].site == ParkSite::Compute {
+            picks.push(p);
+        }
+    }
+    for &p in &picks {
+        g.procs[p].pre = true;
+        g.pre_live += 1;
+        g.pre_releases += 1;
+        shared.gates[p].open(GateCmd::Pre);
+    }
+    g.pre_scratch = picks;
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum GateCmd {
     Hold,
     Run,
+    /// Parallel mode: resume and run ahead of the token (pure compute only);
+    /// park for promotion at the next world interaction.
+    Pre,
     Poison,
 }
 
@@ -309,9 +508,29 @@ struct Shared<W: World> {
     /// the token holder (or by the engine/waker while the owner is parked,
     /// synchronized through the gate); read by the owner.
     clocks: Vec<AtomicU64>,
-    /// Self-resume fast path enabled (default; `VIAMPI_NO_FASTPATH=1`
-    /// disables it for A/B measurements).
+    /// Self-resume fast path + direct handoff enabled (default;
+    /// `VIAMPI_NO_FASTPATH=1` disables both for A/B measurements, restoring
+    /// the everything-through-the-engine reference path).
     fastpath: bool,
+    /// Compute coalescing enabled (default; `VIAMPI_NO_COALESCE=1` or
+    /// [`Engine::set_coalesce`] disables it).
+    coalesce: bool,
+    /// Maximum concurrently-executing processes (1 = serial; >1 enables
+    /// conservative pre-release, from `VIAMPI_PAR` / [`Engine::set_par`]).
+    par: usize,
+    /// Pre-release window in nanoseconds past the token holder's clock.
+    lookahead_ns: u64,
+    /// Per-process deferred compute time (nanoseconds) not yet applied to
+    /// the authoritative clock. Written only by the owning process
+    /// (relaxed: no other thread reads it meaningfully mid-stretch).
+    deferred: Vec<AtomicU64>,
+    /// Owner-maintained flag: this process consumed a `Pre` grant and must
+    /// wait for promotion before its next lock-protected operation.
+    pre_flag: Vec<AtomicBool>,
+    /// `advance` calls absorbed into deferred clocks (whole run).
+    coalesce_advances: AtomicU64,
+    /// Deferred stretches flushed as one authoritative advance (whole run).
+    coalesce_flushes: AtomicU64,
 }
 
 /// Panic payload used to unwind simulated processes during teardown.
@@ -357,41 +576,85 @@ impl<W: World> ProcCtx<W> {
 
     /// Current virtual time of this process.
     ///
-    /// Lock-free: reads a per-process atomic mirror of the clock rather
-    /// than taking the global engine lock, so hot kernels that timestamp
-    /// every iteration do not serialize on the scheduler. The mirror is
-    /// exact — it is updated together with the authoritative clock, and
-    /// only ever written by the token holder or (while this process is
-    /// parked) by the engine, with the gate providing the ordering.
+    /// Lock-free: reads a per-process atomic mirror of the authoritative
+    /// clock plus this process's deferred compute component, so hot kernels
+    /// that timestamp every iteration never serialize on the scheduler and
+    /// still see exact mid-stretch times. The mirror is only written by the
+    /// token holder or (while this process is parked) by the engine, with
+    /// the gate providing the ordering; the deferred component is owned by
+    /// this process.
     #[inline]
     pub fn now(&self) -> SimTime {
-        SimTime(self.shared.clocks[self.pid].load(Ordering::Acquire))
+        SimTime(
+            self.shared.clocks[self.pid]
+                .load(Ordering::Acquire)
+                .wrapping_add(self.shared.deferred[self.pid].load(Ordering::Relaxed)),
+        )
     }
 
-    /// Charge `d` of virtual compute time to this process and yield so that
-    /// any events or other processes due earlier run first. If nothing is
-    /// due earlier, the self-resume fast path keeps executing on this
-    /// thread without a scheduler round trip.
+    /// Charge `d` of virtual compute time to this process.
+    ///
+    /// By default (compute coalescing) the duration accumulates into this
+    /// process's deferred clock — no lock, no scheduler round trip — and is
+    /// applied as one authoritative advance at the next world interaction.
+    /// With coalescing disabled the charge is applied eagerly and the
+    /// process yields so that any events or other processes due earlier run
+    /// first (self-resume fast path permitting). Results are bit-identical
+    /// either way.
     pub fn advance(&self, d: SimDuration) {
         if d == SimDuration::ZERO {
             return;
         }
-        {
-            let mut g = self.shared.inner.lock();
-            let clock = g.procs[self.pid].clock + d;
-            g.procs[self.pid].clock = clock;
-            self.shared.clocks[self.pid].store(clock.0, Ordering::Release);
-            if self.shared.fastpath && g.can_self_resume(self.pid, clock) {
-                g.grant_self(self.pid);
+        if self.shared.coalesce {
+            self.shared.deferred[self.pid].fetch_add(d.as_nanos(), Ordering::Relaxed);
+            self.shared
+                .coalesce_advances
+                .fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        self.sync();
+        self.advance_sync(d);
+    }
+
+    /// Re-join the authoritative schedule before a lock-protected
+    /// operation: wait for promotion if this process is running ahead of a
+    /// pre-release grant, then flush any deferred compute time as a single
+    /// authoritative advance. Every public world-touching entry point calls
+    /// this first.
+    fn sync(&self) {
+        loop {
+            if self.shared.pre_flag[self.pid].load(Ordering::Relaxed) {
+                self.await_promotion();
+            }
+            let d = self.shared.deferred[self.pid].swap(0, Ordering::Relaxed);
+            if d == 0 {
                 return;
             }
-            let key = sched_key(g.sched_seed, g.procs[self.pid].last_run, self.pid, clock);
-            g.procs[self.pid].state = ProcState::Ready;
-            g.ready.push(clock, key, self.pid);
-            g.running = None;
+            self.shared.coalesce_flushes.fetch_add(1, Ordering::Relaxed);
+            self.advance_sync(SimDuration::nanos(d));
+            // The flush itself may have parked us and been answered with a
+            // `Pre` grant (run-ahead). There is no user code left to run
+            // ahead of here — the caller is about to touch the world — so
+            // loop and wait for promotion before letting it proceed.
         }
-        self.shared.engine_cv.notify_one();
-        self.park();
+    }
+
+    /// Apply `d` to the authoritative clock and yield to anything due
+    /// earlier. Must be called as the token holder with no deferred time.
+    fn advance_sync(&self, d: SimDuration) {
+        let mut g = self.shared.inner.lock();
+        let clock = g.procs[self.pid].clock + d;
+        g.procs[self.pid].clock = clock;
+        self.shared.clocks[self.pid].store(clock.0, Ordering::Release);
+        if self.shared.fastpath && g.can_self_resume(self.pid, clock) {
+            g.grant_self(self.pid, false);
+            return;
+        }
+        let key = sched_key(g.sched_seed, g.procs[self.pid].last_run, self.pid, clock);
+        g.procs[self.pid].state = ProcState::Ready;
+        g.procs[self.pid].site = ParkSite::Compute;
+        g.ready.push(clock, key, self.pid);
+        self.relinquish(g);
     }
 
     /// Yield the token without advancing time. Equal-clock processes are
@@ -401,25 +664,24 @@ impl<W: World> ProcCtx<W> {
     /// runnable entity (no equal-or-earlier Ready process, no due event),
     /// the fast path returns immediately.
     pub fn yield_now(&self) {
-        {
-            let mut g = self.shared.inner.lock();
-            let clock = g.procs[self.pid].clock;
-            if self.shared.fastpath && g.can_self_resume(self.pid, clock) {
-                g.grant_self(self.pid);
-                return;
-            }
-            let key = sched_key(g.sched_seed, g.procs[self.pid].last_run, self.pid, clock);
-            g.procs[self.pid].state = ProcState::Ready;
-            g.ready.push(clock, key, self.pid);
-            g.running = None;
+        self.sync();
+        let mut g = self.shared.inner.lock();
+        let clock = g.procs[self.pid].clock;
+        if self.shared.fastpath && g.can_self_resume(self.pid, clock) {
+            g.grant_self(self.pid, true);
+            return;
         }
-        self.shared.engine_cv.notify_one();
-        self.park();
+        let key = sched_key(g.sched_seed, g.procs[self.pid].last_run, self.pid, clock);
+        g.procs[self.pid].state = ProcState::Ready;
+        g.procs[self.pid].site = ParkSite::Voluntary;
+        g.ready.push(clock, key, self.pid);
+        self.relinquish(g);
     }
 
     /// Run `f` against the world at the current instant (zero virtual time).
     /// `f` may schedule events and wake blocked processes.
     pub fn with_world<R>(&self, f: impl FnOnce(&mut W, &mut Api<'_, W::Event>) -> R) -> R {
+        self.sync();
         let mut g = self.shared.inner.lock();
         let now = g.procs[self.pid].clock;
         let inner = &mut *g;
@@ -444,38 +706,92 @@ impl<W: World> ProcCtx<W> {
     /// the virtual time at which it was produced.
     pub fn block_on<R>(&self, mut f: impl FnMut(&mut W, &mut Api<'_, W::Event>) -> Option<R>) -> R {
         loop {
-            {
-                let mut g = self.shared.inner.lock();
-                let now = g.procs[self.pid].clock;
-                let inner = &mut *g;
-                let mut wakes = std::mem::take(&mut inner.wake_scratch);
-                let out = {
-                    let mut api = Api {
-                        now,
-                        queue: &mut inner.queue,
-                        wakes: &mut wakes,
-                    };
-                    f(&mut inner.world, &mut api)
+            self.sync();
+            let mut g = self.shared.inner.lock();
+            let now = g.procs[self.pid].clock;
+            let inner = &mut *g;
+            let mut wakes = std::mem::take(&mut inner.wake_scratch);
+            let out = {
+                let mut api = Api {
+                    now,
+                    queue: &mut inner.queue,
+                    wakes: &mut wakes,
                 };
-                apply_wakes(inner, &self.shared.clocks, now, &wakes);
-                wakes.clear();
-                inner.wake_scratch = wakes;
-                if let Some(r) = out {
-                    return r;
-                }
-                inner.procs[self.pid].state = ProcState::Blocked;
-                inner.running = None;
+                f(&mut inner.world, &mut api)
+            };
+            apply_wakes(inner, &self.shared.clocks, now, &wakes);
+            wakes.clear();
+            inner.wake_scratch = wakes;
+            if let Some(r) = out {
+                return r;
             }
-            self.shared.engine_cv.notify_one();
-            self.park();
+            inner.procs[self.pid].state = ProcState::Blocked;
+            inner.procs[self.pid].site = ParkSite::Voluntary;
+            self.relinquish(g);
         }
+    }
+
+    /// Give up the token and block until re-granted. With the fast path
+    /// enabled the scheduling decision runs inline on this thread (direct
+    /// handoff — one context switch instead of two, or zero when event
+    /// processing makes this process the next runnable one); otherwise the
+    /// engine thread is woken to decide.
+    fn relinquish(&self, mut g: MutexGuard<'_, Inner<W>>) {
+        g.running = None;
+        if self.shared.fastpath {
+            match decide(&mut g, &self.shared) {
+                Decision::Run(next) if next == self.pid => {
+                    g.direct_self += 1;
+                    return;
+                }
+                Decision::Run(next) => {
+                    g.direct_handoffs += 1;
+                    drop(g);
+                    self.shared.gates[next].open(GateCmd::Run);
+                    self.park();
+                    return;
+                }
+                Decision::Idle => {}
+            }
+        }
+        drop(g);
+        self.shared.engine_cv.notify_one();
+        self.park();
+    }
+
+    /// Flush any deferred compute time (waiting for promotion first if this
+    /// process is running ahead), so the process finishes — or reaches its
+    /// next phase — as the authoritative token holder. Called once when the
+    /// body returns.
+    fn retire(&self) {
+        self.sync();
     }
 
     fn park(&self) {
         match self.shared.gates[self.pid].wait() {
             GateCmd::Run => {}
+            GateCmd::Pre => self.shared.pre_flag[self.pid].store(true, Ordering::Relaxed),
             GateCmd::Poison => panic::panic_any(SimPoison),
             GateCmd::Hold => unreachable!(),
+        }
+    }
+
+    /// Park at the gate until the scheduler promotes this pre-released
+    /// process to token holder (pops its ready-heap entry).
+    fn await_promotion(&self) {
+        loop {
+            match self.shared.gates[self.pid].wait() {
+                GateCmd::Run => {
+                    self.shared.pre_flag[self.pid].store(false, Ordering::Relaxed);
+                    return;
+                }
+                GateCmd::Pre => {} // duplicate pre-release: keep waiting
+                GateCmd::Poison => {
+                    self.shared.pre_flag[self.pid].store(false, Ordering::Relaxed);
+                    panic::panic_any(SimPoison)
+                }
+                GateCmd::Hold => unreachable!(),
+            }
         }
     }
 }
@@ -506,6 +822,8 @@ fn apply_wakes<W: World>(
 static TOTAL_RUNS: AtomicU64 = AtomicU64::new(0);
 static TOTAL_EVENTS: AtomicU64 = AtomicU64::new(0);
 static TOTAL_FAST_RESUMES: AtomicU64 = AtomicU64::new(0);
+static TOTAL_COALESCED_ADVANCES: AtomicU64 = AtomicU64::new(0);
+static TOTAL_COMPUTE_FLUSHES: AtomicU64 = AtomicU64::new(0);
 
 /// Process-wide cumulative totals over every completed [`Engine::run`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -516,6 +834,11 @@ pub struct EngineTotals {
     pub events: u64,
     /// Fast-path self-resumes, summed over those runs.
     pub fast_resumes: u64,
+    /// `advance` calls absorbed into deferred compute clocks.
+    pub coalesced_advances: u64,
+    /// Deferred compute stretches flushed as one authoritative advance
+    /// (the scheduler-visible compute events).
+    pub compute_flushes: u64,
 }
 
 /// Snapshot the process-wide cumulative engine counters.
@@ -524,6 +847,8 @@ pub fn engine_totals() -> EngineTotals {
         runs: TOTAL_RUNS.load(Ordering::Relaxed),
         events: TOTAL_EVENTS.load(Ordering::Relaxed),
         fast_resumes: TOTAL_FAST_RESUMES.load(Ordering::Relaxed),
+        coalesced_advances: TOTAL_COALESCED_ADVANCES.load(Ordering::Relaxed),
+        compute_flushes: TOTAL_COMPUTE_FLUSHES.load(Ordering::Relaxed),
     }
 }
 
@@ -554,6 +879,9 @@ pub struct Engine<W: World> {
     world: Option<W>,
     bodies: Vec<(String, ProcBody<W>)>,
     sched_seed: Option<u64>,
+    par: Option<usize>,
+    coalesce: Option<bool>,
+    lookahead: SimDuration,
 }
 
 impl<W: World> Engine<W> {
@@ -563,7 +891,34 @@ impl<W: World> Engine<W> {
             world: Some(world),
             bodies: Vec::new(),
             sched_seed: None,
+            par: None,
+            coalesce: None,
+            lookahead: SimDuration::ZERO,
         }
+    }
+
+    /// Set the maximum number of concurrently-executing processes for the
+    /// conservative parallel mode (see the module docs). `None` (the
+    /// default) falls back to the `VIAMPI_PAR` environment variable; `1`
+    /// runs serially. Results are byte-identical at any value.
+    pub fn set_par(&mut self, par: Option<usize>) {
+        self.par = par;
+    }
+
+    /// Enable/disable compute coalescing explicitly. `None` (the default)
+    /// falls back to the environment: on unless `VIAMPI_NO_COALESCE=1`.
+    /// Results are byte-identical either way.
+    pub fn set_coalesce(&mut self, coalesce: Option<bool>) {
+        self.coalesce = coalesce;
+    }
+
+    /// Pre-release window for the parallel mode: how far past the token
+    /// holder's clock a compute-parked process may be released to run
+    /// ahead. Callers derive it from the device cost model's minimum
+    /// cross-rank influence latency. Correctness never depends on the
+    /// value (promotion is the commit gate); it only tunes overlap.
+    pub fn set_lookahead(&mut self, lookahead: SimDuration) {
+        self.lookahead = lookahead;
     }
 
     /// Install a schedule-exploration seed. When set, equal-clock scheduling
@@ -613,6 +968,8 @@ impl<W: World> Engine<W> {
                         clock: SimTime::ZERO,
                         state: ProcState::Ready,
                         last_run: 0,
+                        site: ParkSite::Voluntary,
+                        pre: false,
                     })
                     .collect(),
                 ready,
@@ -621,13 +978,36 @@ impl<W: World> Engine<W> {
                 pass: 0,
                 events_processed: 0,
                 fast_resumes: 0,
+                direct_handoffs: 0,
+                direct_self: 0,
+                pre_releases: 0,
+                promotions: 0,
+                pre_live: 0,
                 wake_scratch: Vec::with_capacity(8),
+                pre_scratch: Vec::new(),
                 sched_seed: self.sched_seed,
             }),
             engine_cv: Condvar::new(),
             gates: (0..n).map(|_| Arc::new(Gate::new())).collect(),
             clocks: (0..n).map(|_| AtomicU64::new(0)).collect(),
             fastpath: std::env::var_os("VIAMPI_NO_FASTPATH").is_none(),
+            coalesce: self
+                .coalesce
+                .unwrap_or_else(|| std::env::var_os("VIAMPI_NO_COALESCE").is_none()),
+            par: self
+                .par
+                .or_else(|| {
+                    std::env::var("VIAMPI_PAR")
+                        .ok()
+                        .and_then(|s| s.trim().parse::<usize>().ok())
+                })
+                .unwrap_or(1)
+                .max(1),
+            lookahead_ns: self.lookahead.as_nanos(),
+            deferred: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            pre_flag: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            coalesce_advances: AtomicU64::new(0),
+            coalesce_flushes: AtomicU64::new(0),
         });
 
         let mut handles = Vec::with_capacity(n);
@@ -641,7 +1021,7 @@ impl<W: World> Engine<W> {
             let handle = std::thread::Builder::new()
                 .name(format!("sim-{name}"))
                 .spawn(move || {
-                    // Wait to be scheduled for the first time.
+                    // Wait to be scheduled (or pre-released) the first time.
                     match shared2.gates[pid].wait() {
                         GateCmd::Poison => {
                             let mut g = shared2.inner.lock();
@@ -652,9 +1032,17 @@ impl<W: World> Engine<W> {
                             return;
                         }
                         GateCmd::Run => {}
+                        GateCmd::Pre => shared2.pre_flag[pid].store(true, Ordering::Relaxed),
                         GateCmd::Hold => unreachable!(),
                     }
-                    let result = panic::catch_unwind(AssertUnwindSafe(|| body(ctx)));
+                    let epilogue = ctx.clone();
+                    let result = panic::catch_unwind(AssertUnwindSafe(|| {
+                        body(ctx);
+                        // Flush deferred compute (and wait for promotion if
+                        // running ahead) so the finish time is authoritative
+                        // and the epilogue below runs as the token holder.
+                        epilogue.retire();
+                    }));
                     let mut g = shared2.inner.lock();
                     match result {
                         Ok(()) => g.procs[pid].state = ProcState::Finished,
@@ -682,10 +1070,12 @@ impl<W: World> Engine<W> {
             let _ = h.join();
         }
 
-        let inner = Arc::try_unwrap(shared)
-            .unwrap_or_else(|_| panic!("simulation threads leaked a ProcCtx"))
-            .inner
-            .into_inner();
+        let shared = Arc::try_unwrap(shared)
+            .unwrap_or_else(|_| panic!("simulation threads leaked a ProcCtx"));
+        let coalesce_advances = shared.coalesce_advances.load(Ordering::Relaxed);
+        let coalesce_flushes = shared.coalesce_flushes.load(Ordering::Relaxed);
+        let par_workers = shared.par as u64;
+        let inner = shared.inner.into_inner();
 
         if let Some(err) = error {
             return Err(err);
@@ -695,6 +1085,8 @@ impl<W: World> Engine<W> {
         TOTAL_RUNS.fetch_add(1, Ordering::Relaxed);
         TOTAL_EVENTS.fetch_add(inner.events_processed, Ordering::Relaxed);
         TOTAL_FAST_RESUMES.fetch_add(inner.fast_resumes, Ordering::Relaxed);
+        TOTAL_COALESCED_ADVANCES.fetch_add(coalesce_advances, Ordering::Relaxed);
+        TOTAL_COMPUTE_FLUSHES.fetch_add(coalesce_flushes, Ordering::Relaxed);
         let metrics = {
             use crate::metrics::engine as em;
             let mut reg = em::registry();
@@ -702,6 +1094,12 @@ impl<W: World> Engine<W> {
             reg.add(em::EVENTS, inner.events_processed);
             reg.add(em::FAST_RESUMES, inner.fast_resumes);
             reg.add(em::EVENTS_SCHEDULED, inner.queue.scheduled_total());
+            reg.add(em::COALESCE_ADVANCES, coalesce_advances);
+            reg.add(em::COALESCE_FLUSHES, coalesce_flushes);
+            reg.add(em::DIRECT_HANDOFFS, inner.direct_handoffs);
+            reg.add(em::DIRECT_SELF, inner.direct_self);
+            reg.add(em::PAR_PRE_RELEASES, inner.pre_releases);
+            reg.add(em::PAR_PROMOTIONS, inner.promotions);
             let ws = inner.queue.wheel_stats();
             reg.add(em::WHEEL_DUE, ws.push_due);
             reg.add(em::WHEEL_L0, ws.push_l0);
@@ -710,6 +1108,7 @@ impl<W: World> Engine<W> {
             reg.add(em::WHEEL_CASCADES, ws.cascades);
             reg.gauge_max(em::READY_PEAK, inner.ready.peak as u64);
             reg.gauge_max(em::QUEUE_PEAK, inner.queue.peak() as u64);
+            reg.gauge_max(em::PAR_WORKERS, par_workers);
             reg.snapshot()
         };
         Ok((
@@ -724,8 +1123,12 @@ impl<W: World> Engine<W> {
         ))
     }
 
-    /// Main scheduling loop. Returns `Some(error)` if the simulation was
-    /// torn down abnormally (after poisoning every live process).
+    /// Coordinator loop. With direct handoff active, processes pass the
+    /// token among themselves and this thread sleeps; it is woken only for
+    /// startup, termination, deadlock, and poison (and performs every
+    /// decision itself when `VIAMPI_NO_FASTPATH=1` disables direct
+    /// handoff). Returns `Some(error)` if the simulation was torn down
+    /// abnormally (after poisoning every live process).
     fn schedule_loop(shared: &Arc<Shared<W>>) -> Option<SimError> {
         let mut g = shared.inner.lock();
         loop {
@@ -733,15 +1136,22 @@ impl<W: World> Engine<W> {
                 Self::teardown(shared, &mut g);
                 return Some(SimError::ProcPanic { name, message });
             }
-
-            let next_ready = g.ready.peek();
-            let next_event = g.queue.peek_time();
-
-            let run_event = match (next_event, next_ready) {
-                (Some(te), Some((tp, _, _))) => te <= tp,
-                (Some(_), None) => true,
-                (None, Some(_)) => false,
-                (None, None) => {
+            if g.running.is_some() {
+                shared.engine_cv.wait(&mut g);
+                continue;
+            }
+            match decide(&mut g, shared) {
+                Decision::Run(pid) => {
+                    drop(g);
+                    shared.gates[pid].open(GateCmd::Run);
+                    g = shared.inner.lock();
+                }
+                Decision::Idle => {
+                    if g.poisoned.is_some() {
+                        continue;
+                    }
+                    // No due events, no ready processes: every process
+                    // finished, or the survivors are blocked forever.
                     let blocked: Vec<BlockedProc> = g
                         .procs
                         .iter()
@@ -763,42 +1173,6 @@ impl<W: World> Engine<W> {
                     Self::teardown(shared, &mut g);
                     return Some(SimError::Deadlock { at, blocked });
                 }
-            };
-
-            if run_event {
-                let (t, ev) = g.queue.pop().expect("peeked event vanished");
-                g.events_processed += 1;
-                let inner = &mut *g;
-                let mut wakes = std::mem::take(&mut inner.wake_scratch);
-                {
-                    let mut api = Api {
-                        now: t,
-                        queue: &mut inner.queue,
-                        wakes: &mut wakes,
-                    };
-                    inner.world.handle_event(ev, &mut api);
-                }
-                apply_wakes(inner, &shared.clocks, t, &wakes);
-                wakes.clear();
-                inner.wake_scratch = wakes;
-                continue;
-            }
-
-            let (_, _, pid) = g.ready.pop().expect("no event and no ready proc");
-            debug_assert_eq!(g.procs[pid].state, ProcState::Ready);
-            g.pass += 1;
-            let pass = g.pass;
-            {
-                let slot = &mut g.procs[pid];
-                slot.state = ProcState::Running;
-                slot.last_run = pass;
-            }
-            g.running = Some(pid);
-            drop(g);
-            shared.gates[pid].open(GateCmd::Run);
-            g = shared.inner.lock();
-            while g.running.is_some() {
-                shared.engine_cv.wait(&mut g);
             }
         }
     }
@@ -1133,10 +1507,21 @@ mod tests {
         let (_, out) = eng.run().unwrap();
         assert_eq!(out.end_time, SimTime(1_000));
         if std::env::var_os("VIAMPI_NO_FASTPATH").is_none() {
-            assert_eq!(
-                out.fast_resumes, 150,
-                "every advance/yield of a lone process takes the fast path"
-            );
+            if std::env::var_os("VIAMPI_NO_COALESCE").is_none() {
+                // 100 advances coalesce into one flush at the first yield,
+                // then each of the 50 yields self-resumes.
+                assert_eq!(
+                    out.fast_resumes, 51,
+                    "one flushed advance + every yield takes the fast path"
+                );
+                assert_eq!(out.metrics.get("sim.coalesce.advances"), Some(100));
+                assert_eq!(out.metrics.get("sim.coalesce.flushes"), Some(1));
+            } else {
+                assert_eq!(
+                    out.fast_resumes, 150,
+                    "every advance/yield of a lone process takes the fast path"
+                );
+            }
         }
     }
 
@@ -1269,6 +1654,109 @@ mod tests {
             .map(str::to_string)
             .collect();
         assert_eq!(tie_log(None), expected);
+    }
+
+    // ------------------------------------------------------------------
+    // Compute coalescing + parallel pre-release
+    // ------------------------------------------------------------------
+
+    /// A mixed compute/communication workload, run under an explicit
+    /// engine configuration; returns every virtual-time observable.
+    fn modes_workload(
+        coalesce: Option<bool>,
+        par: Option<usize>,
+        lookahead: SimDuration,
+    ) -> (Vec<String>, SimTime, u64, Vec<SimTime>) {
+        let mut eng = Engine::new(MailWorld::new(5));
+        eng.set_coalesce(coalesce);
+        eng.set_par(par);
+        eng.set_lookahead(lookahead);
+        for s in 0..4usize {
+            eng.spawn(format!("s{s}"), move |ctx| {
+                for i in 0..12u64 {
+                    // Fragmented compute stretch: coalescing folds it.
+                    for _ in 0..8 {
+                        ctx.advance(SimDuration::nanos(25 * (s as u64 + 1)));
+                    }
+                    send(&ctx, 4, (s as u64) * 100 + i, SimDuration::micros(1));
+                    if i % 3 == 0 {
+                        ctx.yield_now();
+                    }
+                }
+            });
+        }
+        eng.spawn("sink", |ctx| {
+            let mut got = Vec::new();
+            for _ in 0..48 {
+                got.push(recv(&ctx).0);
+            }
+            ctx.with_world(move |w, _| {
+                w.log = got.iter().map(|v| v.to_string()).collect();
+            });
+        });
+        let (w, out) = eng.run().unwrap();
+        (w.log, out.end_time, out.events_processed, out.proc_finish)
+    }
+
+    #[test]
+    fn coalescing_on_and_off_are_bit_identical() {
+        let lazy = modes_workload(Some(true), None, SimDuration::ZERO);
+        let eager = modes_workload(Some(false), None, SimDuration::ZERO);
+        assert_eq!(lazy, eager, "lazy vs eager compute charging must agree");
+    }
+
+    #[test]
+    fn parallel_mode_matches_serial_at_any_width() {
+        let serial = modes_workload(None, Some(1), SimDuration::ZERO);
+        for n in [2usize, 4, 8] {
+            let par = modes_workload(None, Some(n), SimDuration::micros(5));
+            assert_eq!(par, serial, "VIAMPI_PAR={n} must be byte-identical");
+        }
+    }
+
+    #[test]
+    fn parallel_mode_actually_pre_releases() {
+        let mut eng = Engine::new(MailWorld::new(4));
+        eng.set_par(Some(4));
+        eng.set_lookahead(SimDuration::micros(100));
+        for pid in 0..4usize {
+            eng.spawn(format!("p{pid}"), move |ctx| {
+                for _ in 0..50 {
+                    ctx.advance(SimDuration::nanos(40));
+                    ctx.with_world(|_, _| {});
+                }
+            });
+        }
+        let (_, out) = eng.run().unwrap();
+        assert!(
+            out.metrics.get("sim.par.pre_releases").unwrap_or(0) > 0,
+            "equal-clock compute-parked peers should overlap"
+        );
+        assert_eq!(
+            out.metrics.get("sim.par.pre_releases"),
+            out.metrics.get("sim.par.promotions"),
+            "every pre-released process is promoted exactly once"
+        );
+        assert_eq!(out.metrics.get("sim.par.workers"), Some(4));
+    }
+
+    #[test]
+    fn deferred_now_is_exact_mid_stretch() {
+        let mut eng = Engine::new(MailWorld::new(1));
+        eng.spawn("p", |ctx| {
+            let mut expect = 0u64;
+            for i in 1..=64u64 {
+                ctx.advance(SimDuration::nanos(i));
+                expect += i;
+                assert_eq!(
+                    ctx.now(),
+                    SimTime(expect),
+                    "now() reads through the deferred clock"
+                );
+            }
+        });
+        let (_, out) = eng.run().unwrap();
+        assert_eq!(out.end_time, SimTime((1..=64u64).sum()));
     }
 
     #[test]

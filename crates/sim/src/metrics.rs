@@ -138,6 +138,12 @@ pub mod engine {
             EVENTS => "sim.events": "World events processed",
             FAST_RESUMES => "sim.fast_resumes": "Token passes short-circuited by the self-resume fast path",
             EVENTS_SCHEDULED => "sim.events_scheduled": "Events ever pushed on the event queue",
+            COALESCE_ADVANCES => "sim.coalesce.advances": "advance() calls absorbed into deferred compute clocks",
+            COALESCE_FLUSHES => "sim.coalesce.flushes": "Deferred compute stretches flushed as one authoritative advance",
+            DIRECT_HANDOFFS => "sim.direct.handoffs": "Token grants performed inline by the yielding process",
+            DIRECT_SELF => "sim.direct.self_resumes": "Inline decisions that returned the token to the caller after event processing",
+            PAR_PRE_RELEASES => "sim.par.pre_releases": "Processes released to run ahead inside the lookahead window",
+            PAR_PROMOTIONS => "sim.par.promotions": "Pre-released processes promoted to token holder",
             WHEEL_DUE => "sim.wheel.push_due": "Events merged straight into the sorted due buffer",
             WHEEL_L0 => "sim.wheel.push_l0": "Events filed in a level-0 wheel slot",
             WHEEL_L1 => "sim.wheel.push_l1": "Events filed in a level-1 wheel slot",
@@ -147,6 +153,7 @@ pub mod engine {
         gauges {
             READY_PEAK => "sim.ready_peak": "Peak ready-heap depth",
             QUEUE_PEAK => "sim.queue_peak": "Peak event-queue occupancy",
+            PAR_WORKERS => "sim.par.workers": "Configured maximum concurrently-executing processes",
         }
         hists {}
     }

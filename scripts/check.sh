@@ -2,8 +2,37 @@
 # Pre-PR gate: formatting, lints, and the tier-1 build/test pair, all
 # offline (the build environment has no crate registry — see DESIGN.md §3)
 # and --locked, so a drifted Cargo.lock fails loudly instead of resolving.
+#
+# Usage:
+#   scripts/check.sh                       # the full gate (default)
+#   scripts/check.sh determinism [MODE]    # just the determinism suite,
+#                                          # MODE ∈ {fastpath (default),
+#                                          #         no-fastpath, par2}
+#
+# The determinism stage is what CI's matrix legs call, so the exact
+# command — and the engine-mode environment it runs under — lives here
+# and can never drift from the workflow.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+determinism_suite() {
+    case "${1:-fastpath}" in
+        fastpath) ;;
+        no-fastpath) export VIAMPI_NO_FASTPATH=1 ;;
+        par2) export VIAMPI_PAR=2 ;;
+        *)
+            echo "check.sh: unknown determinism mode '${1}'" >&2
+            exit 2
+            ;;
+    esac
+    echo "== determinism suite (mode: ${1:-fastpath})"
+    cargo test --release --offline --locked -p viampi-bench --test determinism
+}
+
+if [[ "${1:-all}" == "determinism" ]]; then
+    determinism_suite "${2:-fastpath}"
+    exit 0
+fi
 
 echo "== cargo fmt --check"
 cargo fmt --all -- --check
@@ -16,6 +45,10 @@ cargo build --release --offline --locked
 
 echo "== tier-1: cargo test -q (offline, full workspace)"
 cargo test -q --offline --locked --workspace
+
+echo "== determinism suite under the parallel engine (VIAMPI_PAR=2)"
+# Subshell: the mode's exported environment must not leak into later stages.
+(determinism_suite par2)
 
 echo "== simcheck campaign frontier (timeboxed, resumes committed coverage)"
 # Work on a scratch copy: the committed state is the frontier baseline and

@@ -13,7 +13,7 @@ cargo bench -q --offline --locked -p viampi-bench --bench hotpaths -- \
     --json-out bench_hotpaths_current
 
 echo "== checking required benches are present"
-for b in eager_pingpong_pooled queue_wheel_1k; do
+for b in eager_pingpong_pooled queue_wheel_1k compute_coalesce_1m par_ring_np8; do
     grep -q "\"$b\"" results/bench_hotpaths_current.json || {
         echo "perf_gate: required bench '$b' missing from current record" >&2
         exit 1
