@@ -1,0 +1,7 @@
+//! Extends the paper's Figure 8 beyond its 16-process ceiling: MPI_Init
+//! time at np = 256/1024/4096 on the state-machine engine backend.
+fn main() {
+    viampi_bench::runner::init_from_args();
+    let (text, _) = viampi_bench::experiments::fig8_largen();
+    println!("{text}");
+}

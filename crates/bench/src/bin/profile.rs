@@ -8,6 +8,7 @@
 //! ```text
 //! profile [--program cg|mg|is|ep|ft|lu|ring|barrier] [--np N]
 //!         [--device clan|bvia] [--class S|A|B|C] [--out PATH] [--jobs J]
+//!         [--engine threads|sm]
 //! ```
 //!
 //! Defaults: `--program ring --np 4 --device clan --class S`, output to
@@ -24,6 +25,7 @@ struct Args {
     device: Device,
     class: Class,
     out: Option<PathBuf>,
+    engine: Option<viampi_sim::Backend>,
 }
 
 fn die(msg: &str) -> ! {
@@ -39,6 +41,7 @@ fn parse_args() -> Args {
         device: Device::Clan,
         class: Class::S,
         out: None,
+        engine: None,
     };
     let value = |argv: &[String], i: usize, flag: &str| -> String {
         argv.get(i + 1)
@@ -80,12 +83,21 @@ fn parse_args() -> Args {
                 args.out = Some(PathBuf::from(value(&argv, i, "--out")));
                 i += 2;
             }
+            "--engine" => {
+                args.engine = match value(&argv, i, "--engine").as_str() {
+                    "threads" => Some(viampi_sim::Backend::Threads),
+                    "sm" => Some(viampi_sim::Backend::Sm),
+                    _ => die("--engine expects threads|sm"),
+                };
+                i += 2;
+            }
             "--jobs" => i += 2, // handled by runner::init_from_args
             a if a.starts_with("--jobs=") => i += 1,
             "--help" | "-h" => {
                 println!(
                     "usage: profile [--program cg|mg|is|ep|ft|lu|ring|barrier] [--np N] \
-                     [--device clan|bvia] [--class S|A|B|C] [--out PATH] [--jobs J]"
+                     [--device clan|bvia] [--class S|A|B|C] [--out PATH] [--jobs J] \
+                     [--engine threads|sm]"
                 );
                 std::process::exit(0);
             }
@@ -105,6 +117,7 @@ fn traced_run(args: &Args) -> RunReport<f64> {
         WaitPolicy::Polling,
     );
     uni.config_mut().trace = true;
+    uni.config_mut().engine_backend = args.engine;
     let class = args.class;
     let run = match args.program.as_str() {
         "ring" => uni.run(|mpi| ring::run(mpi, 4, 4096)),

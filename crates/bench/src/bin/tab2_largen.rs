@@ -1,0 +1,8 @@
+//! Extends the paper's Table 2 beyond its 32-process ceiling: VI and
+//! memory resources for ring and CG-style neighbour-exchange workloads at
+//! np = 256/1024/4096 on the state-machine engine backend.
+fn main() {
+    viampi_bench::runner::init_from_args();
+    let (text, _) = viampi_bench::experiments::tab2_largen();
+    println!("{text}");
+}

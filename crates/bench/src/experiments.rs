@@ -851,3 +851,198 @@ pub fn fig8() -> (String, Vec<InitPoint>) {
     );
     (text, points)
 }
+
+// ========================================================================
+// Large-N series — fig8/tab2 beyond paper scale (state-machine engine)
+// ========================================================================
+
+/// Modes exercised at large N: the paper's worst-case static setup vs
+/// on-demand. BVIA only implements the peer-to-peer static model.
+fn largen_modes(device: Device) -> Vec<(&'static str, ConnMode)> {
+    match device {
+        Device::Clan => vec![
+            ("static-cs", ConnMode::StaticClientServer),
+            ("on-demand", ConnMode::OnDemand),
+        ],
+        Device::Berkeley => vec![
+            ("static-p2p", ConnMode::StaticPeerToPeer),
+            ("on-demand", ConnMode::OnDemand),
+        ],
+    }
+}
+
+/// On-demand scales to 4096 ranks. Static modes stop where the NIC VI
+/// table stops them: a fully wired world needs np-1 VIs per process, so
+/// cLAN (`max_vis` 1024) tops out at np = 1024 and BVIA (`max_vis` 256)
+/// at np = 256 — which is the paper's resource argument made literal.
+fn largen_sizes(device: Device, mode: ConnMode) -> &'static [usize] {
+    match (device, mode) {
+        (_, ConnMode::OnDemand) => &[256, 1024, 4096],
+        (Device::Clan, _) => &[256, 1024],
+        (Device::Berkeley, _) => &[256],
+    }
+}
+
+/// A large-N world: always the state-machine engine backend (one OS
+/// thread, O(used-channels) memory). Threads-vs-sm result parity is
+/// enforced by `tests/backend_parity.rs`, so the numbers here are
+/// backend-independent.
+fn largen_universe(np: usize, device: Device, mode: ConnMode) -> Universe {
+    let mut uni = Universe::new(np, device, mode, WaitPolicy::Polling);
+    uni.config_mut().engine_backend = Some(viampi_sim::Backend::Sm);
+    uni
+}
+
+/// Fig. 8 extension: `MPI_Init` time at np = 256/1024/4096 (static capped
+/// at 1024), both devices, on the state-machine engine.
+pub fn fig8_largen() -> (String, Vec<InitPoint>) {
+    let mut items = Vec::new();
+    for device in [Device::Clan, Device::Berkeley] {
+        for (label, mode) in largen_modes(device) {
+            for &np in largen_sizes(device, mode) {
+                items.push((device, label, mode, np));
+            }
+        }
+    }
+    let points = runner::timed("fig8_largen", || {
+        runner::par_map(items, |(device, label, mode, np)| {
+            let report = largen_universe(np, device, mode).run(|_mpi| ()).unwrap();
+            InitPoint {
+                device: device.name().into(),
+                mode: label.into(),
+                np,
+                init_ms: report.avg_init_time().as_secs_f64() * 1e3,
+            }
+        })
+    });
+    write_json("fig8_largen", &points);
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.device.clone(),
+                p.mode.clone(),
+                p.np.to_string(),
+                fmt(p.init_ms),
+            ]
+        })
+        .collect();
+    let text = format!(
+        "Figure 8 (large-N) — MPI_Init time vs process count (ms)\n\n{}",
+        table(&["device", "mode", "procs", "init (ms)"], &rows)
+    );
+    (text, points)
+}
+
+/// One large-N resource row.
+#[derive(Debug, Clone)]
+pub struct Tab2LargenRow {
+    /// Workload name.
+    pub app: String,
+    /// Device.
+    pub device: String,
+    /// Connection-mode label.
+    pub mode: String,
+    /// Ranks.
+    pub np: usize,
+    /// Average live VIs per process.
+    pub avg_vis: f64,
+    /// Utilization (used/created).
+    pub utilization: f64,
+    /// Peak pinned eager-pool bytes per process.
+    pub pinned_peak: usize,
+    /// Most channels any one rank materialized — the O(used-channels)
+    /// witness: ≪ np for on-demand sparse workloads, np-1 for static.
+    pub chan_peak: usize,
+    /// Largest per-rank fiber stack usage in bytes (sm backend gauge).
+    pub rank_mem_peak: u64,
+}
+
+impl_json!(Tab2LargenRow {
+    app,
+    device,
+    mode,
+    np,
+    avg_vis,
+    utilization,
+    pinned_peak,
+    chan_peak,
+    rank_mem_peak
+});
+
+#[derive(Clone, Copy)]
+enum LargenApp {
+    Ring,
+    CgExchange,
+}
+
+/// Table 2 extension: VI/memory resources for a ring and a CG-style
+/// neighbour exchange at np = 256/1024/4096 (static capped at 1024).
+pub fn tab2_largen() -> (String, Vec<Tab2LargenRow>) {
+    let mut items = Vec::new();
+    for device in [Device::Clan, Device::Berkeley] {
+        for (label, mode) in largen_modes(device) {
+            for &np in largen_sizes(device, mode) {
+                for (app, kind) in [("Ring", LargenApp::Ring), ("CG-x", LargenApp::CgExchange)] {
+                    items.push((app, device, label, mode, np, kind));
+                }
+            }
+        }
+    }
+    let data = runner::timed("tab2_largen", || {
+        runner::par_map(items, |(app, device, label, mode, np, kind)| {
+            let report = largen_universe(np, device, mode)
+                .run(move |mpi| match kind {
+                    LargenApp::Ring => {
+                        ring::run(mpi, 4, 64);
+                    }
+                    LargenApp::CgExchange => {
+                        let partners = patterns::cg_rank(mpi.size(), mpi.rank());
+                        patterns::neighbor_exchange(mpi, &partners, 2, 64);
+                    }
+                })
+                .unwrap();
+            Tab2LargenRow {
+                app: app.into(),
+                device: device.name().into(),
+                mode: label.into(),
+                np,
+                avg_vis: report.avg_vis(),
+                utilization: report.utilization(),
+                pinned_peak: report.max_pinned(),
+                chan_peak: report
+                    .ranks
+                    .iter()
+                    .map(|r| r.channels.len())
+                    .max()
+                    .unwrap_or(0),
+                rank_mem_peak: report.metrics.get("sim.sm.rank_mem_peak").unwrap_or(0),
+            }
+        })
+    });
+    write_json("tab2_largen", &data);
+    let rows: Vec<Vec<String>> = data
+        .iter()
+        .map(|r| {
+            vec![
+                r.app.clone(),
+                r.device.clone(),
+                r.mode.clone(),
+                r.np.to_string(),
+                fmt(r.avg_vis),
+                fmt(r.utilization),
+                format!("{}K", r.pinned_peak >> 10),
+                r.chan_peak.to_string(),
+                format!("{}K", r.rank_mem_peak >> 10),
+            ]
+        })
+        .collect();
+    let text = format!(
+        "Table 2 (large-N) — resources per process at scale\n\n{}",
+        table(
+            &["app", "device", "mode", "size", "VIs", "util", "pin", "chan pk", "stack pk"],
+            &rows
+        )
+    );
+    (text, data)
+}

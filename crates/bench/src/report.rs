@@ -38,8 +38,13 @@ pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
     out
 }
 
-/// Directory for machine-readable experiment records.
+/// Directory for machine-readable experiment records. Overridable with
+/// `VIAMPI_RESULTS_DIR` so tests can regenerate records into a scratch
+/// directory and byte-compare them without touching the committed ones.
 pub fn results_dir() -> PathBuf {
+    if let Some(dir) = std::env::var_os("VIAMPI_RESULTS_DIR") {
+        return PathBuf::from(dir);
+    }
     // Walk up from the crate to the workspace root.
     let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
     p.pop();

@@ -124,6 +124,9 @@ struct Scenario {
     par_workers: usize,
     /// Compute coalescing (the par-engine axis also fuzzes it off).
     coalesce: bool,
+    /// Engine backend (`None` = session default; the engine-backend axis
+    /// pins threads or the state-machine scheduler).
+    engine_backend: Option<viampi_sim::Backend>,
 }
 
 /// Derive the scenario for `seed` (a pure function of the seed).
@@ -166,9 +169,11 @@ fn derive(seed: u64) -> Scenario {
         data_jitter: None,
         // Engine-mode fields are constants here (no new draws): the plain
         // draw sequence is frozen, and byte-identity across engine modes is
-        // its own invariant, so only the par-engine axis varies these.
+        // its own invariant, so only the par-engine and engine-backend axes
+        // vary these.
         par_workers: 1,
         coalesce: true,
+        engine_backend: None,
     }
 }
 
@@ -276,11 +281,16 @@ pub enum Axis {
     /// compute coalescing: every invariant must hold — and every outcome
     /// stay byte-identical to serial — under concurrent pre-release.
     ParEngine = 8,
+    /// Engine backend flip (OS threads ↔ fiber state machines). Variant
+    /// pairs `(2i, 2i+1)` share scheduler and fault seeds and differ only
+    /// in backend, so every pair is a live threads-vs-sm replay; half the
+    /// pairs also widen np past the thread backend's 64-rank band.
+    EngineBackend = 9,
 }
 
 impl Axis {
     /// Every axis, in tag order.
-    pub const ALL: [Axis; 8] = [
+    pub const ALL: [Axis; 9] = [
         Axis::NpLarge,
         Axis::Storm,
         Axis::RetryEdge,
@@ -289,6 +299,7 @@ impl Axis {
         Axis::DataJitter,
         Axis::DynCredits,
         Axis::ParEngine,
+        Axis::EngineBackend,
     ];
 
     /// Axis for a key tag in `1..=7`.
@@ -307,6 +318,7 @@ impl Axis {
             Axis::DataJitter => "data-jitter",
             Axis::DynCredits => "dyn-credits",
             Axis::ParEngine => "par-engine",
+            Axis::EngineBackend => "engine-backend",
         }
     }
 
@@ -315,7 +327,7 @@ impl Axis {
     pub fn weight(self) -> u32 {
         match self {
             Axis::NpLarge | Axis::Storm | Axis::RetryEdge => 4,
-            Axis::DataJitter | Axis::ParEngine => 2,
+            Axis::DataJitter | Axis::ParEngine | Axis::EngineBackend => 2,
             Axis::Msgs | Axis::ConnWait | Axis::DynCredits => 1,
         }
     }
@@ -390,6 +402,30 @@ fn apply_axis(mut sc: Scenario, axis: Axis, variant: u32, k: u64) -> Scenario {
         Axis::ParEngine => {
             sc.par_workers = 2 + (variant as usize % 3);
             sc.coalesce = (variant / 3).is_multiple_of(2);
+        }
+        Axis::EngineBackend => {
+            // Re-salt with the parity bit (key bit 48) masked off so the
+            // variants `2i` and `2i+1` share scheduler and fault seeds:
+            // the pair differs *only* in backend, making each one a
+            // replayable threads-vs-sm comparison (backend_parity.rs
+            // asserts the outcomes are byte-identical).
+            let mut prng = SplitMix64::new((k & !(1u64 << 48)) ^ 0x0DD5_EED5_0C4A_FE01);
+            sc.sched_seed = prng.next_u64();
+            sc.fault_seed = prng.next_u64();
+            sc.engine_backend = Some(if variant.is_multiple_of(2) {
+                viampi_sim::Backend::Threads
+            } else {
+                viampi_sim::Backend::Sm
+            });
+            // Half the pairs widen np past the np-large axis's 64-rank
+            // ceiling — both backends run the same world, so the thread
+            // backend caps the band at an affordable 256.
+            if (variant / 2) % 2 == 1 {
+                const NP_WIDE: [usize; 4] = [96, 128, 192, 256];
+                sc.np = NP_WIDE[(variant as usize / 4) % NP_WIDE.len()];
+                sc.program = Program::Ring;
+                sc.m = sc.m.min(2);
+            }
         }
     }
     sc
@@ -751,12 +787,16 @@ fn expected_streams(sc: &Scenario, rank: usize) -> Vec<(usize, Vec<u32>)> {
 fn check_invariants(sc: &Scenario, report: &RunReport<Vec<RecvRecord>>) -> Vec<String> {
     let mut v = Vec::new();
     let np = sc.np;
+    // Channel snapshots are sparse: ranks only report peers they touched.
+    // An absent entry means the pair never interacted — identical to an
+    // Unconnected channel with empty queues.
+    let absent = ChannelSnapshot::absent(usize::MAX);
     let snap = |i: usize, j: usize| -> &ChannelSnapshot {
         report.ranks[i]
             .channels
             .iter()
             .find(|c| c.peer == j)
-            .expect("snapshot for every peer")
+            .unwrap_or(&absent)
     };
 
     // 1. Connection state-machine legality: terminal states only, no
@@ -880,7 +920,8 @@ fn np_band(np: usize) -> &'static str {
         7..=8 => "np7-8",
         9..=16 => "np9-16",
         17..=32 => "np17-32",
-        _ => "np33-64",
+        33..=64 => "np33-64",
+        _ => "np65+",
     }
 }
 
@@ -912,6 +953,7 @@ pub fn run_key(k: u64, kind: FaultKind) -> SeedOutcome {
         cfg.dynamic_credits = sc.dynamic_credits;
         cfg.par_workers = Some(sc.par_workers);
         cfg.coalesce = Some(sc.coalesce);
+        cfg.engine_backend = sc.engine_backend;
     }
     let sc2 = sc.clone();
     let report = uni
@@ -931,7 +973,7 @@ pub fn run_key(k: u64, kind: FaultKind) -> SeedOutcome {
         .flat_map(|r| r.channels.iter())
         .filter(|c| c.state == ChanState::Connected)
         .count() as u64;
-    let signature = format!(
+    let mut signature = format!(
         "{}|{}|{}|{}|{}|{}|{}|{}|{}|{}",
         np_band(sc.np),
         sc.program.name(),
@@ -944,6 +986,14 @@ pub fn run_key(k: u64, kind: FaultKind) -> SeedOutcome {
         log2_band('u', unexpected_msgs),
         log2_band('c', channels_connected),
     );
+    // A pinned backend gets its own coverage token; scenarios without one
+    // (every plain seed) keep their historical signature bytes.
+    if let Some(b) = sc.engine_backend {
+        signature.push_str(match b {
+            viampi_sim::Backend::Threads => "|thr",
+            viampi_sim::Backend::Sm => "|sm",
+        });
+    }
     SeedOutcome {
         seed: k,
         np: sc.np,

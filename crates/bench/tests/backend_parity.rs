@@ -1,0 +1,147 @@
+//! Backend parity wall: the thread scheduler and the state-machine (fiber)
+//! scheduler are two substrates for the same deterministic engine, so every
+//! number the repo publishes must be byte-identical under both — at any
+//! worker count, with faults injected or not.
+//!
+//! The figure tests regenerate committed records by spawning the real
+//! figure binaries with `VIAMPI_ENGINE` pinned and `VIAMPI_RESULTS_DIR`
+//! pointed at a scratch directory, so the comparison covers the exact
+//! code path a release regeneration uses.
+
+use std::path::PathBuf;
+use std::process::Command;
+use viampi_bench::simcheck::{key, run_key, Axis, FaultKind, SeedOutcome};
+
+/// Fresh scratch directory under the system temp dir.
+fn scratch_dir(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("viampi_parity_{}_{label}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Run one figure binary with a pinned engine backend and worker count,
+/// writing into `dir`; returns the regenerated JSON bytes.
+fn regen(bin: &str, json_name: &str, engine: &str, jobs: usize, dir: &PathBuf) -> Vec<u8> {
+    let status = Command::new(bin)
+        .args(["--jobs", &jobs.to_string()])
+        .env("VIAMPI_ENGINE", engine)
+        .env("VIAMPI_RESULTS_DIR", dir)
+        .stdout(std::process::Stdio::null())
+        .status()
+        .unwrap_or_else(|e| panic!("spawn {bin}: {e}"));
+    assert!(
+        status.success(),
+        "{bin} (engine={engine}, jobs={jobs}) failed"
+    );
+    std::fs::read(dir.join(format!("{json_name}.json")))
+        .unwrap_or_else(|e| panic!("{json_name}.json missing after {bin}: {e}"))
+}
+
+/// The committed record for `json_name` (the workspace results directory).
+fn committed(json_name: &str) -> Vec<u8> {
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p.push("results");
+    p.push(format!("{json_name}.json"));
+    std::fs::read(&p).unwrap_or_else(|e| panic!("read {}: {e}", p.display()))
+}
+
+/// Regenerate one figure under threads and sm, at --jobs 1 and 4, and
+/// require all four outputs to equal the committed bytes.
+fn assert_figure_parity(label: &str, bin: &str, json_name: &str) {
+    let golden = committed(json_name);
+    for engine in ["threads", "sm"] {
+        for jobs in [1usize, 4] {
+            let dir = scratch_dir(&format!("{label}_{engine}_j{jobs}"));
+            let got = regen(bin, json_name, engine, jobs, &dir);
+            assert_eq!(
+                got, golden,
+                "{json_name}.json (engine={engine}, jobs={jobs}) \
+                 diverged from the committed bytes"
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+#[test]
+fn fig2_is_byte_identical_across_backends_and_jobs() {
+    assert_figure_parity("fig2", env!("CARGO_BIN_EXE_fig2_latency"), "fig2_latency");
+}
+
+#[test]
+fn fig4_is_byte_identical_across_backends_and_jobs() {
+    assert_figure_parity(
+        "fig4",
+        env!("CARGO_BIN_EXE_fig4_barrier"),
+        "fig4_barrier_latency",
+    );
+}
+
+#[test]
+fn tab2_is_byte_identical_across_backends_and_jobs() {
+    assert_figure_parity(
+        "tab2",
+        env!("CARGO_BIN_EXE_tab2_resources"),
+        "tab2_resources",
+    );
+}
+
+/// Everything in a simcheck outcome that must not depend on the engine
+/// substrate (the seed differs by construction — it encodes the backend —
+/// and the signature carries an explicit backend token).
+fn substrate_free(o: &SeedOutcome) -> (f64, u64, u64, u64, u64, u64, u64, Vec<String>) {
+    (
+        o.end_us,
+        o.events,
+        o.faults_injected,
+        o.conn_retries,
+        o.conn_failures,
+        o.retry_depth_max,
+        o.unexpected_msgs,
+        o.violations.clone(),
+    )
+}
+
+#[test]
+fn faulted_simcheck_scenarios_match_across_backends() {
+    // Engine-backend axis keys come in pairs (2i, 2i+1) that share every
+    // scenario draw — scheduler seed, fault seed, topology — and differ
+    // only in backend (threads vs sm). Heavy fault injection included,
+    // the outcomes must agree on every substrate-independent field.
+    for root in [1u64, 7, 23, 1234] {
+        for pair in 0..4u32 {
+            let thr = run_key(
+                key::mutated(Axis::EngineBackend, 2 * pair, root),
+                FaultKind::Heavy,
+            );
+            let sm = run_key(
+                key::mutated(Axis::EngineBackend, 2 * pair + 1, root),
+                FaultKind::Heavy,
+            );
+            assert!(
+                thr.violations.is_empty(),
+                "root {root} pair {pair} (threads): {:?}",
+                thr.violations
+            );
+            assert_eq!(
+                substrate_free(&thr),
+                substrate_free(&sm),
+                "root {root} pair {pair}: threads and sm outcomes diverged"
+            );
+            assert!(
+                thr.signature.ends_with("|thr") && sm.signature.ends_with("|sm"),
+                "backend coverage tokens missing: {} / {}",
+                thr.signature,
+                sm.signature
+            );
+            assert_eq!(
+                thr.signature.trim_end_matches("|thr"),
+                sm.signature.trim_end_matches("|sm"),
+                "root {root} pair {pair}: coverage signatures diverged beyond the backend token"
+            );
+        }
+    }
+}

@@ -591,6 +591,124 @@ fn engine_mode_counter_names_are_pinned() {
     );
 }
 
+// ---------------------------------------------------------------------------
+// Engine backends: the state-machine (fiber) scheduler vs OS threads.
+// ---------------------------------------------------------------------------
+
+use viampi_sim::Backend;
+
+/// The fig4 barrier run with the engine backend (and optionally other
+/// engine modes) pinned through the config — overrides beat the
+/// `VIAMPI_ENGINE` environment, so these tests are race-free under any
+/// test-harness parallelism.
+fn barrier_run_backend(
+    np: usize,
+    backend: Backend,
+    par: Option<usize>,
+    coalesce: Option<bool>,
+) -> RunReport<Option<f64>> {
+    let mut uni = Universe::new(np, Device::Clan, ConnMode::OnDemand, WaitPolicy::Polling);
+    uni.config_mut().engine_backend = Some(backend);
+    uni.config_mut().par_workers = par;
+    uni.config_mut().coalesce = coalesce;
+    uni.run(|mpi| llc::barrier_latency(mpi, 300)).unwrap()
+}
+
+/// The CG class-S run with the engine backend pinned.
+fn npb_run_backend(backend: Backend) -> RunReport<Option<f64>> {
+    let mut uni = Universe::new(8, Device::Clan, ConnMode::OnDemand, WaitPolicy::Polling);
+    uni.config_mut().engine_backend = Some(backend);
+    uni.run(|mpi| {
+        let r = cg::run(mpi, Class::S);
+        Some(if r.verified { r.time_secs } else { f64::NAN })
+    })
+    .unwrap()
+}
+
+#[test]
+fn sm_backend_repeat_runs_are_bit_identical() {
+    let a = barrier_run_backend(16, Backend::Sm, None, None);
+    let b = barrier_run_backend(16, Backend::Sm, None, None);
+    assert_eq!(
+        fingerprint(&a),
+        fingerprint(&b),
+        "repeat sm runs must be bit-identical"
+    );
+    assert_eq!(
+        a.metrics.render(),
+        b.metrics.render(),
+        "sm metrics must replay bit-identically"
+    );
+}
+
+#[test]
+fn sm_backend_matches_threads_for_fig4_and_cg() {
+    // The substrate swap must be invisible in every published number:
+    // end times, event counts, per-rank finishes, result bits.
+    assert_eq!(
+        fingerprint(&barrier_run_backend(16, Backend::Sm, None, None)),
+        fingerprint(&barrier_run_backend(16, Backend::Threads, None, None)),
+        "fig4 must not depend on the engine backend"
+    );
+    assert_eq!(
+        fingerprint(&npb_run_backend(Backend::Sm)),
+        fingerprint(&npb_run_backend(Backend::Threads)),
+        "CG must not depend on the engine backend"
+    );
+}
+
+#[test]
+fn sm_backend_matches_across_engine_modes() {
+    // sm composes with the other engine modes: coalescing off and a
+    // requested parallel width (clamped to serial under sm) must leave
+    // the outcome bit-identical to the plain sm run.
+    let base = fingerprint(&barrier_run_backend(16, Backend::Sm, None, None));
+    assert_eq!(
+        fingerprint(&barrier_run_backend(16, Backend::Sm, None, Some(false))),
+        base,
+        "sm must not depend on compute coalescing"
+    );
+    assert_eq!(
+        fingerprint(&barrier_run_backend(16, Backend::Sm, Some(2), None)),
+        base,
+        "sm with a parallel-width request must clamp to the serial schedule"
+    );
+}
+
+#[test]
+fn sm_counter_names_are_pinned() {
+    // The sm observability counters are part of the metrics interface:
+    // the dotted names must not drift, an sm run must actually poll and
+    // park fibers, and a threads run must report them at zero.
+    let r = barrier_run_backend(8, Backend::Sm, None, None);
+    let rendered = r.metrics.render();
+    for name in [
+        "sim.sm.polls",
+        "sim.sm.parks",
+        "sim.sm.resumes",
+        "sim.sm.rank_mem_peak",
+    ] {
+        assert!(
+            rendered.contains(name),
+            "snapshot is missing {name}:\n{rendered}"
+        );
+    }
+    assert!(
+        r.metrics.get("sim.sm.parks").unwrap() > 0,
+        "sm run must park"
+    );
+    assert!(
+        r.metrics.get("sim.sm.rank_mem_peak").unwrap() > 0,
+        "sm run must sample fiber stack depth"
+    );
+    let t = barrier_run_backend(8, Backend::Threads, None, None);
+    assert_eq!(
+        t.metrics.get("sim.sm.polls"),
+        Some(0),
+        "threads run must not count sm polls"
+    );
+}
+
 #[test]
 fn outcome_matches_with_fast_path_disabled_if_env_set() {
     // When the whole test process runs under VIAMPI_NO_FASTPATH=1 this

@@ -160,6 +160,12 @@ pub struct MpiConfig {
     /// `VIAMPI_NO_COALESCE` (default on). Results are bit-identical either
     /// way.
     pub coalesce: Option<bool>,
+    /// Execution-substrate override (see [`viampi_sim::Engine::set_backend`]):
+    /// `threads` (one OS thread per rank) or `sm` (proc-state-machine
+    /// fibers on one thread, the large-N substrate). `None` defers to
+    /// `VIAMPI_ENGINE` (default `threads`). Results are bit-identical
+    /// either way.
+    pub engine_backend: Option<viampi_sim::Backend>,
 }
 
 impl MpiConfig {
@@ -187,6 +193,7 @@ impl MpiConfig {
             sched_seed: None,
             par_workers: None,
             coalesce: None,
+            engine_backend: None,
         }
     }
 

@@ -22,7 +22,7 @@ use crate::matching::{MatchEngine, PostedRecv, Unexpected, UnexpectedBody};
 use crate::protocol::{Header, MsgKind, HEADER_LEN};
 use crate::request::{SendMode, Status};
 use crate::trace::{Span, SpanKind};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use viampi_sim::{BufferPool, Registry, SimDuration, SimTime};
 use viampi_via::fabric::{Bytes, OobBytes};
 use viampi_via::{CompletionKind, Discriminator, MemHandle, ViId, ViState, ViaError, ViaPort};
@@ -132,6 +132,58 @@ pub struct Channel {
     conn_begin: SimTime,
 }
 
+/// Sparse per-peer channel table. A channel materializes on first *mutable*
+/// access (`&mut table[peer]`), so a rank's footprint is O(channels it
+/// actually touched) instead of O(world size) — the property that lets
+/// np=4096 on-demand worlds fit in memory. Immutable indexing of a
+/// never-touched peer yields a shared default `Unconnected` view, and
+/// iteration visits materialized channels in ascending peer order — exactly
+/// the order the old dense table walked them, with the untouched no-op
+/// entries (empty queues, `Unconnected` state) skipped.
+pub struct ChannelTable {
+    map: BTreeMap<usize, Channel>,
+    /// Read-only stand-in for never-touched peers. Its `peer` field is a
+    /// sentinel and never read: every consumer carries the index separately.
+    empty: Channel,
+}
+
+impl ChannelTable {
+    fn new() -> Self {
+        ChannelTable {
+            map: BTreeMap::new(),
+            empty: Channel::new(usize::MAX),
+        }
+    }
+
+    /// Materialized channels, ascending by peer.
+    pub fn iter(&self) -> impl Iterator<Item = &Channel> {
+        self.map.values()
+    }
+
+    /// `(peer, channel)` pairs over materialized channels, ascending.
+    pub fn iter_entries(&self) -> impl Iterator<Item = (usize, &Channel)> {
+        self.map.iter().map(|(&p, c)| (p, c))
+    }
+
+    /// Number of materialized channels (the O(used) bound under test).
+    pub fn touched(&self) -> usize {
+        self.map.len()
+    }
+}
+
+impl std::ops::Index<usize> for ChannelTable {
+    type Output = Channel;
+    fn index(&self, peer: usize) -> &Channel {
+        self.map.get(&peer).unwrap_or(&self.empty)
+    }
+}
+
+impl std::ops::IndexMut<usize> for ChannelTable {
+    fn index_mut(&mut self, peer: usize) -> &mut Channel {
+        self.map.entry(peer).or_insert_with(|| Channel::new(peer))
+    }
+}
+
 impl Channel {
     fn new(peer: usize) -> Self {
         Channel {
@@ -239,8 +291,10 @@ pub struct Device {
     pub cfg: MpiConfig,
     /// VIA provider handle.
     pub port: ViaPort,
-    /// Per-peer channels (`channels[rank]` is unused).
-    pub channels: Vec<Channel>,
+    /// Per-peer channels, materialized lazily on first touch
+    /// (`channels[rank]` is never used). Never-touched peers read as
+    /// `Unconnected`, so rank memory is O(used channels), not O(np).
+    pub channels: ChannelTable,
     /// Matching queues.
     pub matcher: MatchEngine,
     reqs: HashMap<u64, ReqState>,
@@ -283,7 +337,7 @@ impl Device {
             size,
             cfg,
             port,
-            channels: (0..size).map(Channel::new).collect(),
+            channels: ChannelTable::new(),
             matcher: MatchEngine::new(),
             reqs: HashMap::new(),
             next_req: 1,
@@ -445,10 +499,10 @@ impl Device {
                 self.conn_idle_wait(stamp);
             }
         }
-        if let Some(peer) = self
+        if let Some((peer, _)) = self
             .channels
-            .iter()
-            .position(|c| c.state == ChanState::Failed)
+            .iter_entries()
+            .find(|(_, c)| c.state == ChanState::Failed)
         {
             panic!(
                 "static peer-to-peer init: connection to rank {peer} failed \
@@ -462,44 +516,48 @@ impl Device {
     /// order; the lower rank acts as server, the higher as client, and each
     /// pair completes before the next is attempted (paper §5.6).
     fn init_static_cs(&mut self) {
-        for i in 0..self.size {
-            for j in (i + 1)..self.size {
-                if self.rank == i {
-                    // Server: wait for j's request, accept on a fresh VI.
-                    let req = loop {
-                        let stamp = self.port.activity_stamp();
-                        if let Some(r) = self
-                            .port
-                            .cs_requests()
-                            .iter()
-                            .find(|r| r.from == j)
-                            .copied()
-                        {
-                            break r;
-                        }
-                        self.port.wait_activity(stamp);
-                    };
-                    let vi = self
-                        .provision_channel(j)
-                        .unwrap_or_else(|e| panic!("provision channel to rank {j}: {e}"));
-                    self.port
-                        .accept_cs(req.id, vi)
-                        .expect("accept pending request");
-                    let st = self.port.connect_wait(vi).expect("valid VI");
-                    assert_eq!(st, ViState::Connected);
-                    self.finish_connect(j);
-                } else if self.rank == j {
-                    let vi = self
-                        .provision_channel(i)
-                        .unwrap_or_else(|e| panic!("provision channel to rank {i}: {e}"));
-                    self.port
-                        .connect_request(vi, i, pair_disc(i, j))
-                        .expect("issue client request");
-                    let st = self.port.connect_wait(vi).expect("valid VI");
-                    assert_eq!(st, ViState::Connected);
-                    self.finish_connect(i);
+        // In the global pair list `(i, j), i < j` every pair not involving
+        // this rank is a pure no-op for it, so each rank only needs its own
+        // pairs, in the same relative order the global walk visits them:
+        // `(0, rank) .. (rank-1, rank)` with this rank as client, then
+        // `(rank, rank+1) .. (rank, size-1)` with this rank as server. The
+        // global serialization is enforced by the blocking `connect_wait`
+        // handshakes, not by walking the whole O(N²) list on every rank.
+        for server in 0..self.rank {
+            let vi = self
+                .provision_channel(server)
+                .unwrap_or_else(|e| panic!("provision channel to rank {server}: {e}"));
+            self.port
+                .connect_request(vi, server, pair_disc(server, self.rank))
+                .expect("issue client request");
+            let st = self.port.connect_wait(vi).expect("valid VI");
+            assert_eq!(st, ViState::Connected);
+            self.finish_connect(server);
+        }
+        for client in (self.rank + 1)..self.size {
+            // Server: wait for the client's request, accept on a fresh VI.
+            let req = loop {
+                let stamp = self.port.activity_stamp();
+                if let Some(r) = self
+                    .port
+                    .cs_requests()
+                    .iter()
+                    .find(|r| r.from == client)
+                    .copied()
+                {
+                    break r;
                 }
-            }
+                self.port.wait_activity(stamp);
+            };
+            let vi = self
+                .provision_channel(client)
+                .unwrap_or_else(|e| panic!("provision channel to rank {client}: {e}"));
+            self.port
+                .accept_cs(req.id, vi)
+                .expect("accept pending request");
+            let st = self.port.connect_wait(vi).expect("valid VI");
+            assert_eq!(st, ViState::Connected);
+            self.finish_connect(client);
         }
     }
 
@@ -1022,15 +1080,20 @@ impl Device {
             }
         }
 
-        // Drain any unblocked outgoing queues.
-        for peer in 0..self.size {
-            if !self.channels[peer].outq.is_empty()
-                && self.channels[peer].state == ChanState::Connected
-            {
-                let before = self.channels[peer].outq.len();
-                self.try_drain(peer);
-                progress |= self.channels[peer].outq.len() != before;
-            }
+        // Drain any unblocked outgoing queues. Only materialized channels
+        // can hold queued messages, and draining one channel never affects
+        // another, so the sparse walk is behaviour-identical to the old
+        // dense 0..size scan.
+        let pending: Vec<usize> = self
+            .channels
+            .iter_entries()
+            .filter(|(_, c)| !c.outq.is_empty() && c.state == ChanState::Connected)
+            .map(|(p, _)| p)
+            .collect();
+        for peer in pending {
+            let before = self.channels[peer].outq.len();
+            self.try_drain(peer);
+            progress |= self.channels[peer].outq.len() != before;
         }
 
         // Explicit credit returns where piggybacking has stalled.
@@ -1054,7 +1117,16 @@ impl Device {
                 }
             }
         }
-        for peer in 0..self.size {
+        // Collected after the request-answering pass above so channels it
+        // just set up are promoted this round, exactly like the old dense
+        // scan. Only materialized channels can be `Connecting`.
+        let connecting: Vec<usize> = self
+            .channels
+            .iter_entries()
+            .filter(|(_, c)| c.state == ChanState::Connecting)
+            .map(|(p, _)| p)
+            .collect();
+        for peer in connecting {
             if self.channels[peer].state != ChanState::Connecting {
                 continue;
             }
@@ -1140,30 +1212,37 @@ impl Device {
     /// the threshold (the piggyback path has stalled). Uses the reserved
     /// last credit, so it can always make progress.
     fn return_credits(&mut self) {
-        for peer in 0..self.size {
-            let ch = &self.channels[peer];
-            // The return threshold scales with the current window so a
-            // small dynamic window still returns credits promptly.
-            let threshold = self.cfg.credit_return_threshold.min((ch.bufs / 2).max(1));
-            if ch.state == ChanState::Connected
-                && ch.credits_owed >= threshold
-                && ch.credits >= 1
-                && !ch.free_send_slots.is_empty()
-            {
-                let header = Header {
-                    kind: MsgKind::Credit,
-                    credits: 0,
-                    context: 0,
-                    src: self.rank as u32,
-                    tag: 0,
-                    aux1: 0,
-                    aux2: 0,
-                    len: 0,
-                };
-                self.metrics.inc(mpi_metrics::CREDIT_MSGS);
-                let frame = self.pool.alloc(HEADER_LEN);
-                self.send_wire(peer, header, frame);
-            }
+        // Sending a credit message never changes another channel's owed
+        // count, so deciding every peer up front over the sparse table
+        // matches the old dense per-peer re-check.
+        let owing: Vec<usize> = self
+            .channels
+            .iter_entries()
+            .filter(|(_, ch)| {
+                // The return threshold scales with the current window so a
+                // small dynamic window still returns credits promptly.
+                let threshold = self.cfg.credit_return_threshold.min((ch.bufs / 2).max(1));
+                ch.state == ChanState::Connected
+                    && ch.credits_owed >= threshold
+                    && ch.credits >= 1
+                    && !ch.free_send_slots.is_empty()
+            })
+            .map(|(p, _)| p)
+            .collect();
+        for peer in owing {
+            let header = Header {
+                kind: MsgKind::Credit,
+                credits: 0,
+                context: 0,
+                src: self.rank as u32,
+                tag: 0,
+                aux1: 0,
+                aux2: 0,
+                len: 0,
+            };
+            self.metrics.inc(mpi_metrics::CREDIT_MSGS);
+            let frame = self.pool.alloc(HEADER_LEN);
+            self.send_wire(peer, header, frame);
         }
     }
 
@@ -1496,27 +1575,28 @@ impl Device {
         self.reqs.len()
     }
 
-    /// Externally visible state of every remote channel, for invariant
-    /// checking by the simcheck harness.
+    /// Externally visible state of every *touched* remote channel, for
+    /// invariant checking by the simcheck harness. Sparse: a peer with no
+    /// snapshot was never communicated with and is implied `Unconnected`
+    /// with empty queues (consumers substitute that default), so report
+    /// size is O(used channels), not O(np²) across the world.
     pub fn channel_snapshots(&self) -> Vec<ChannelSnapshot> {
-        (0..self.size)
-            .filter(|&p| p != self.rank)
-            .map(|p| {
-                let ch = &self.channels[p];
-                ChannelSnapshot {
-                    peer: p,
-                    state: ch.state,
-                    credits: ch.credits,
-                    credits_owed: ch.credits_owed,
-                    bufs: ch.bufs,
-                    pending: ch.outq.len(),
-                    inflight: ch.inflight.len(),
-                    vi_connected: ch
-                        .vi
-                        .map(|v| self.port.vi_state(v) == Ok(ViState::Connected))
-                        .unwrap_or(false),
-                    connected_vis_to_peer: self.port.connected_vis_to(p),
-                }
+        self.channels
+            .iter_entries()
+            .filter(|&(p, _)| p != self.rank)
+            .map(|(p, ch)| ChannelSnapshot {
+                peer: p,
+                state: ch.state,
+                credits: ch.credits,
+                credits_owed: ch.credits_owed,
+                bufs: ch.bufs,
+                pending: ch.outq.len(),
+                inflight: ch.inflight.len(),
+                vi_connected: ch
+                    .vi
+                    .map(|v| self.port.vi_state(v) == Ok(ViState::Connected))
+                    .unwrap_or(false),
+                connected_vis_to_peer: self.port.connected_vis_to(p),
             })
             .collect()
     }
@@ -1545,4 +1625,23 @@ pub struct ChannelSnapshot {
     /// Connected VIs on this NIC whose remote end is `peer` (must be ≤ 1:
     /// the simultaneous-connect race must never yield duplicate VIs).
     pub connected_vis_to_peer: usize,
+}
+
+impl ChannelSnapshot {
+    /// The implied snapshot of a never-touched peer. Snapshot lists are
+    /// sparse (O(used channels)); consumers substitute this default for a
+    /// peer with no entry: `Unconnected`, empty queues, no VI.
+    pub fn absent(peer: usize) -> Self {
+        ChannelSnapshot {
+            peer,
+            state: ChanState::Unconnected,
+            credits: 0,
+            credits_owed: 0,
+            bufs: 0,
+            pending: 0,
+            inflight: 0,
+            vi_connected: false,
+            connected_vis_to_peer: 0,
+        }
+    }
 }

@@ -150,6 +150,7 @@ impl Universe {
         engine.set_sched_seed(cfg.sched_seed);
         engine.set_par(cfg.par_workers);
         engine.set_coalesce(cfg.coalesce);
+        engine.set_backend(cfg.engine_backend);
         engine.set_lookahead(cfg.device.profile().min_latency());
         let body = Arc::new(body);
         type Slot<R> = Option<(R, RankReport)>;

@@ -10,6 +10,7 @@
 //! for the nearest-neighbour codes and calibrated for SMG2000/SAMRAI.
 
 use std::collections::BTreeSet;
+use viampi_core::Mpi;
 use viampi_sim::SplitMix64;
 
 /// Factor `np` into a 3D grid with near-equal power-of-two-ish dims.
@@ -205,38 +206,64 @@ pub fn samrai(np: usize) -> Vec<BTreeSet<usize>> {
 /// NPB CG destinations from the reproduction's own CG partner structure
 /// (grid-row reduction + transpose + allreduce), matching the study's
 /// 6.36 @ 64 in shape.
-#[allow(clippy::needless_range_loop)]
 pub fn cg(np: usize) -> Vec<BTreeSet<usize>> {
+    (0..np).map(|me| cg_rank(np, me)).collect()
+}
+
+/// One rank's CG destination set, O(log np) — usable at np = 4096 where
+/// materializing all `np` sets per rank would be quadratic. The set is
+/// symmetric (`p ∈ cg_rank(np, me) ⟺ me ∈ cg_rank(np, p)`): row-reduce
+/// and allreduce partners are XOR pairings, and the transpose map is an
+/// involution for both the square and the 2:1-rectangular grid.
+pub fn cg_rank(np: usize, me: usize) -> BTreeSet<usize> {
     assert!(np.is_power_of_two());
     let log = np.trailing_zeros() as usize;
     let npcols = 1usize << log.div_ceil(2);
     let nprows = np / npcols;
-    let mut out = vec![BTreeSet::new(); np];
-    for me in 0..np {
-        let (row, col) = (me / npcols, me % npcols);
-        // Row-reduce partners.
-        let mut mask = 1usize;
-        while mask < npcols {
-            out[me].insert(row * npcols + (col ^ mask));
-            mask <<= 1;
-        }
-        // Transpose partner.
-        let tp = if npcols == nprows {
-            col * npcols + row
-        } else {
-            (col / 2) * npcols + 2 * row + (col % 2)
-        };
-        if tp != me {
-            out[me].insert(tp);
-        }
-        // Allreduce partners (recursive doubling over all ranks).
-        let mut mask = 1usize;
-        while mask < np {
-            out[me].insert(me ^ mask);
-            mask <<= 1;
-        }
+    let mut out = BTreeSet::new();
+    let (row, col) = (me / npcols, me % npcols);
+    // Row-reduce partners.
+    let mut mask = 1usize;
+    while mask < npcols {
+        out.insert(row * npcols + (col ^ mask));
+        mask <<= 1;
+    }
+    // Transpose partner.
+    let tp = if npcols == nprows {
+        col * npcols + row
+    } else {
+        (col / 2) * npcols + 2 * row + (col % 2)
+    };
+    if tp != me {
+        out.insert(tp);
+    }
+    // Allreduce partners (recursive doubling over all ranks).
+    let mut mask = 1usize;
+    while mask < np {
+        out.insert(me ^ mask);
+        mask <<= 1;
     }
     out
+}
+
+/// Drive `iters` rounds of a symmetric nearest-neighbour exchange: each
+/// round posts one irecv and one isend of `len` bytes per partner, then
+/// waits on everything. Requires a symmetric partner set (see
+/// [`cg_rank`]); the nonblocking post-all-then-wait shape is deadlock-free
+/// regardless of graph order.
+pub fn neighbor_exchange(mpi: &Mpi, partners: &BTreeSet<usize>, iters: usize, len: usize) {
+    let buf = vec![0x3Cu8; len];
+    for it in 0..iters {
+        let tag = it as i32;
+        let mut reqs = Vec::with_capacity(partners.len() * 2);
+        for &p in partners {
+            reqs.push(mpi.irecv(Some(p), Some(tag)));
+        }
+        for &p in partners {
+            reqs.push(mpi.isend(&buf, p, tag));
+        }
+        mpi.waitall(&reqs);
+    }
 }
 
 /// Mean distinct destinations per process.
@@ -283,6 +310,22 @@ mod tests {
     fn cg_destinations_sane() {
         let avg = average_destinations(&cg(64));
         assert!((4.0..=10.0).contains(&avg), "cg avg {avg} (study: 6.36)");
+    }
+
+    #[test]
+    fn cg_rank_is_symmetric() {
+        // The neighbor-exchange workloads rely on pairwise symmetry to
+        // post matching send/recv pairs; check both grid shapes.
+        for np in [64usize, 128] {
+            for me in 0..np {
+                for &p in &cg_rank(np, me) {
+                    assert!(
+                        cg_rank(np, p).contains(&me),
+                        "np={np}: {me} -> {p} but not {p} -> {me}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,11 +1,36 @@
 //! The virtual-time engine.
 //!
-//! Every simulated process (an MPI rank, in this repository) runs on its own
-//! OS thread, but **exactly one** of {engine, processes} executes at any real
-//! instant: a token is passed between the engine and the process with the
-//! smallest virtual clock. Hardware activity (NIC processing, wire flight,
-//! DMA, connection handshakes) is represented by events in a global queue;
-//! events due at or before the next process resume time are applied first.
+//! Every simulated process (an MPI rank, in this repository) runs as its own
+//! suspendable execution context, but **exactly one** of {engine, processes}
+//! executes at any real instant: a token is passed between the engine and
+//! the process with the smallest virtual clock. Hardware activity (NIC
+//! processing, wire flight, DMA, connection handshakes) is represented by
+//! events in a global queue; events due at or before the next process resume
+//! time are applied first.
+//!
+//! ## Execution backends (`VIAMPI_ENGINE=threads|sm`)
+//!
+//! The *substrate* carrying a suspended process is selectable
+//! ([`Backend`], [`Engine::set_backend`], `VIAMPI_ENGINE`):
+//!
+//! * `threads` (default) — one OS thread per process, parked on a gate
+//!   condvar while it does not hold the token. Simple and portable, but a
+//!   token pass costs a futex round trip and an np-rank world costs np
+//!   thread stacks plus np kernel tasks, which caps worlds around a few
+//!   hundred ranks.
+//! * `sm` — every process runs as a pollable state machine: a stackful
+//!   coroutine (fiber, [`crate::fiber`]) multiplexed onto the single thread
+//!   that called [`Engine::run`]. The park/resume points are *exactly* the
+//!   former gate sites, the scheduling decision ([`decide`]) is the same
+//!   code, and the tie-break/recency rules are untouched, so virtual-time
+//!   results are byte-identical with the thread backend. Token passes
+//!   become user-space context switches and rank memory becomes one lazily
+//!   committed fiber stack (`VIAMPI_SM_STACK` bytes reserved, only touched
+//!   pages resident), which is what lets np = 1024–4096 worlds run.
+//!
+//! Under `sm` the conservative parallel mode is meaningless (there is only
+//! one OS thread); `par` is clamped to 1, which cannot change results
+//! (parallel mode is byte-identical at any width by construction).
 //!
 //! The result is a *deterministic* simulation: given the same world, the same
 //! spawned closures and the same seeds, every run produces identical virtual
@@ -86,6 +111,7 @@
 //! value (promotion is the commit gate); `0` simply disables overlap.
 
 use crate::error::{BlockedProc, SimError};
+use crate::fiber::{FiberSet, FiberStats};
 use crate::queue::EventQueue;
 use crate::rng::SplitMix64;
 use crate::sync::{Condvar, Mutex, MutexGuard};
@@ -97,6 +123,46 @@ use std::sync::Arc;
 /// Identifier of a spawned simulated process (dense, starting at 0 in spawn
 /// order — MPI layers use it directly as the rank).
 pub type ProcId = usize;
+
+/// Execution substrate carrying suspended simulated processes (see the
+/// module docs). Selected by [`Engine::set_backend`] or `VIAMPI_ENGINE`;
+/// virtual-time results are byte-identical across backends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// One OS thread per process (the reference substrate; the default).
+    #[default]
+    Threads,
+    /// Proc-state-machine mode: stackful fibers multiplexed onto the
+    /// driving thread. O(1) OS threads, O(touched-pages) rank memory.
+    Sm,
+}
+
+impl Backend {
+    /// Resolve the `VIAMPI_ENGINE` environment override (`threads` | `sm`);
+    /// `None` when unset or empty. Unknown values panic — a typo silently
+    /// falling back to the default would invalidate an A/B measurement.
+    pub fn from_env() -> Option<Backend> {
+        match std::env::var("VIAMPI_ENGINE") {
+            Ok(s) => match s.trim() {
+                "" => None,
+                "threads" => Some(Backend::Threads),
+                "sm" => Some(Backend::Sm),
+                other => panic!("VIAMPI_ENGINE must be `threads` or `sm`, got {other:?}"),
+            },
+            Err(_) => None,
+        }
+    }
+}
+
+/// Fiber stack reservation for the `sm` backend: `VIAMPI_SM_STACK` bytes,
+/// default 1 MiB. Stacks are lazily committed, so the default costs only
+/// address space until a rank actually recurses into it.
+fn sm_stack_size() -> usize {
+    std::env::var("VIAMPI_SM_STACK")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .unwrap_or(1 << 20)
+}
 
 /// The simulated hardware/world state shared by all processes.
 ///
@@ -327,6 +393,9 @@ struct Inner<W: World> {
     pre_scratch: Vec<ProcId>,
     /// Schedule-exploration seed (see [`sched_key`]). Immutable after init.
     sched_seed: Option<u64>,
+    /// Scheduling decisions taken by the sm backend (driver loop plus
+    /// inline direct-handoff decisions). Always 0 under the thread backend.
+    sm_polls: u64,
 }
 
 impl<W: World> Inner<W> {
@@ -531,6 +600,13 @@ struct Shared<W: World> {
     coalesce_advances: AtomicU64,
     /// Deferred stretches flushed as one authoritative advance (whole run).
     coalesce_flushes: AtomicU64,
+    /// Fiber set hosting every process under the `sm` backend (`None`
+    /// under the thread backend). All fiber operations happen on the one
+    /// thread that called [`Engine::run`].
+    sm: Option<FiberSet>,
+    /// sm-backend poison flags: set by teardown before resuming a fiber so
+    /// the fiber unwinds at its park site (the gate-command analogue).
+    sm_poison: Vec<AtomicBool>,
 }
 
 /// Panic payload used to unwind simulated processes during teardown.
@@ -739,6 +815,9 @@ impl<W: World> ProcCtx<W> {
     fn relinquish(&self, mut g: MutexGuard<'_, Inner<W>>) {
         g.running = None;
         if self.shared.fastpath {
+            if self.shared.sm.is_some() {
+                g.sm_polls += 1;
+            }
             match decide(&mut g, &self.shared) {
                 Decision::Run(next) if next == self.pid => {
                     g.direct_self += 1;
@@ -747,16 +826,29 @@ impl<W: World> ProcCtx<W> {
                 Decision::Run(next) => {
                     g.direct_handoffs += 1;
                     drop(g);
-                    self.shared.gates[next].open(GateCmd::Run);
-                    self.park();
+                    if let Some(fs) = &self.shared.sm {
+                        // Fiber-to-fiber direct handoff: switch straight to
+                        // `next` (starting it if this is its first grant);
+                        // control comes back when something resumes us.
+                        fs.resume(next);
+                        self.sm_check_poison();
+                    } else {
+                        self.shared.gates[next].open(GateCmd::Run);
+                        self.park();
+                    }
                     return;
                 }
                 Decision::Idle => {}
             }
         }
         drop(g);
-        self.shared.engine_cv.notify_one();
-        self.park();
+        if let Some(fs) = &self.shared.sm {
+            fs.yield_to_driver();
+            self.sm_check_poison();
+        } else {
+            self.shared.engine_cv.notify_one();
+            self.park();
+        }
     }
 
     /// Flush any deferred compute time (waiting for promotion first if this
@@ -765,6 +857,15 @@ impl<W: World> ProcCtx<W> {
     /// body returns.
     fn retire(&self) {
         self.sync();
+    }
+
+    /// sm-backend analogue of the gate's `Poison` command, checked right
+    /// after a fiber is resumed at a park site: unwind if teardown marked
+    /// this process for poisoning before resuming it.
+    fn sm_check_poison(&self) {
+        if self.shared.sm_poison[self.pid].swap(false, Ordering::Relaxed) {
+            panic::panic_any(SimPoison);
+        }
     }
 
     fn park(&self) {
@@ -882,6 +983,7 @@ pub struct Engine<W: World> {
     par: Option<usize>,
     coalesce: Option<bool>,
     lookahead: SimDuration,
+    backend: Option<Backend>,
 }
 
 impl<W: World> Engine<W> {
@@ -894,7 +996,16 @@ impl<W: World> Engine<W> {
             par: None,
             coalesce: None,
             lookahead: SimDuration::ZERO,
+            backend: None,
         }
+    }
+
+    /// Select the execution substrate. `None` (the default) falls back to
+    /// the `VIAMPI_ENGINE` environment variable, then to
+    /// [`Backend::Threads`]. Virtual-time results are byte-identical
+    /// across backends; only wall clock and memory footprint differ.
+    pub fn set_backend(&mut self, backend: Option<Backend>) {
+        self.backend = backend;
     }
 
     /// Set the maximum number of concurrently-executing processes for the
@@ -948,6 +1059,13 @@ impl<W: World> Engine<W> {
     pub fn run(mut self) -> Result<(W, Outcome), SimError> {
         let world = self.world.take().expect("engine already run");
         let n = self.bodies.len();
+        let backend = self.backend.or_else(Backend::from_env).unwrap_or_default();
+        if backend == Backend::Sm && !crate::fiber::SUPPORTED {
+            panic!(
+                "the sm engine backend has no context-switch support on this architecture; \
+                 use VIAMPI_ENGINE=threads"
+            );
+        }
         let mut ready = ReadyHeap::with_capacity(n);
         for pid in 0..n {
             ready.push(
@@ -986,6 +1104,7 @@ impl<W: World> Engine<W> {
                 wake_scratch: Vec::with_capacity(8),
                 pre_scratch: Vec::new(),
                 sched_seed: self.sched_seed,
+                sm_polls: 0,
             }),
             engine_cv: Condvar::new(),
             gates: (0..n).map(|_| Arc::new(Gate::new())).collect(),
@@ -994,87 +1113,148 @@ impl<W: World> Engine<W> {
             coalesce: self
                 .coalesce
                 .unwrap_or_else(|| std::env::var_os("VIAMPI_NO_COALESCE").is_none()),
-            par: self
-                .par
-                .or_else(|| {
-                    std::env::var("VIAMPI_PAR")
-                        .ok()
-                        .and_then(|s| s.trim().parse::<usize>().ok())
-                })
-                .unwrap_or(1)
-                .max(1),
+            // The sm backend clamps parallel mode to serial: its processes
+            // all live on this thread, so pre-releasing could not overlap
+            // anything — and parallel mode is byte-identical at any width,
+            // so the clamp cannot change results.
+            par: if backend == Backend::Sm {
+                1
+            } else {
+                self.par
+                    .or_else(|| {
+                        std::env::var("VIAMPI_PAR")
+                            .ok()
+                            .and_then(|s| s.trim().parse::<usize>().ok())
+                    })
+                    .unwrap_or(1)
+                    .max(1)
+            },
             lookahead_ns: self.lookahead.as_nanos(),
             deferred: (0..n).map(|_| AtomicU64::new(0)).collect(),
             pre_flag: (0..n).map(|_| AtomicBool::new(false)).collect(),
             coalesce_advances: AtomicU64::new(0),
             coalesce_flushes: AtomicU64::new(0),
+            sm: (backend == Backend::Sm).then(|| FiberSet::new(n, sm_stack_size())),
+            sm_poison: (0..n).map(|_| AtomicBool::new(false)).collect(),
         });
 
-        let mut handles = Vec::with_capacity(n);
-        for (pid, (name, body)) in self.bodies.drain(..).enumerate() {
-            let ctx = ProcCtx {
-                shared: shared.clone(),
-                pid,
-                nprocs: n,
-            };
-            let shared2 = shared.clone();
-            let handle = std::thread::Builder::new()
-                .name(format!("sim-{name}"))
-                .spawn(move || {
-                    // Wait to be scheduled (or pre-released) the first time.
-                    match shared2.gates[pid].wait() {
-                        GateCmd::Poison => {
-                            let mut g = shared2.inner.lock();
-                            g.procs[pid].state = ProcState::Panicked;
-                            g.running = None;
-                            drop(g);
-                            shared2.engine_cv.notify_one();
-                            return;
-                        }
-                        GateCmd::Run => {}
-                        GateCmd::Pre => shared2.pre_flag[pid].store(true, Ordering::Relaxed),
-                        GateCmd::Hold => unreachable!(),
-                    }
-                    let epilogue = ctx.clone();
-                    let result = panic::catch_unwind(AssertUnwindSafe(|| {
-                        body(ctx);
-                        // Flush deferred compute (and wait for promotion if
-                        // running ahead) so the finish time is authoritative
-                        // and the epilogue below runs as the token holder.
-                        epilogue.retire();
-                    }));
-                    let mut g = shared2.inner.lock();
-                    match result {
-                        Ok(()) => g.procs[pid].state = ProcState::Finished,
-                        Err(payload) => {
-                            g.procs[pid].state = ProcState::Panicked;
-                            if payload.downcast_ref::<SimPoison>().is_none() && g.poisoned.is_none()
-                            {
-                                let msg = panic_message(payload.as_ref());
-                                let name = g.procs[pid].name.clone();
-                                g.poisoned = Some((name, msg));
+        let error = if backend == Backend::Sm {
+            // Proc-state-machine mode: every process is a fiber on *this*
+            // thread. The body closure is byte-for-byte the thread
+            // backend's epilogue (run under catch_unwind, then publish the
+            // final state under the lock); only the initial-grant plumbing
+            // differs — a fiber's first resume simply starts executing the
+            // body, so there is no gate wait at the top.
+            let fs = shared.sm.as_ref().expect("sm backend has a fiber set");
+            for (pid, (_name, body)) in self.bodies.drain(..).enumerate() {
+                let ctx = ProcCtx {
+                    shared: shared.clone(),
+                    pid,
+                    nprocs: n,
+                };
+                let shared2 = shared.clone();
+                fs.set_body(
+                    pid,
+                    Box::new(move || {
+                        let epilogue = ctx.clone();
+                        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+                            body(ctx);
+                            epilogue.retire();
+                        }));
+                        let mut g = shared2.inner.lock();
+                        match result {
+                            Ok(()) => g.procs[pid].state = ProcState::Finished,
+                            Err(payload) => {
+                                g.procs[pid].state = ProcState::Panicked;
+                                if payload.downcast_ref::<SimPoison>().is_none()
+                                    && g.poisoned.is_none()
+                                {
+                                    let msg = panic_message(payload.as_ref());
+                                    let name = g.procs[pid].name.clone();
+                                    g.poisoned = Some((name, msg));
+                                }
                             }
                         }
-                    }
-                    g.running = None;
-                    drop(g);
-                    shared2.engine_cv.notify_one();
-                })
-                .expect("spawn simulated process thread");
-            handles.push(handle);
-        }
+                        g.running = None;
+                        // Returning hands control to the driver context.
+                    }),
+                );
+            }
+            let error = Self::schedule_loop_sm(&shared);
+            // Nothing may outlive the run holding a ProcCtx: drop any body
+            // never started (its closure captured one).
+            fs.clear();
+            error
+        } else {
+            let mut handles = Vec::with_capacity(n);
+            for (pid, (name, body)) in self.bodies.drain(..).enumerate() {
+                let ctx = ProcCtx {
+                    shared: shared.clone(),
+                    pid,
+                    nprocs: n,
+                };
+                let shared2 = shared.clone();
+                let handle = std::thread::Builder::new()
+                    .name(format!("sim-{name}"))
+                    .spawn(move || {
+                        // Wait to be scheduled (or pre-released) the first time.
+                        match shared2.gates[pid].wait() {
+                            GateCmd::Poison => {
+                                let mut g = shared2.inner.lock();
+                                g.procs[pid].state = ProcState::Panicked;
+                                g.running = None;
+                                drop(g);
+                                shared2.engine_cv.notify_one();
+                                return;
+                            }
+                            GateCmd::Run => {}
+                            GateCmd::Pre => shared2.pre_flag[pid].store(true, Ordering::Relaxed),
+                            GateCmd::Hold => unreachable!(),
+                        }
+                        let epilogue = ctx.clone();
+                        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+                            body(ctx);
+                            // Flush deferred compute (and wait for promotion if
+                            // running ahead) so the finish time is authoritative
+                            // and the epilogue below runs as the token holder.
+                            epilogue.retire();
+                        }));
+                        let mut g = shared2.inner.lock();
+                        match result {
+                            Ok(()) => g.procs[pid].state = ProcState::Finished,
+                            Err(payload) => {
+                                g.procs[pid].state = ProcState::Panicked;
+                                if payload.downcast_ref::<SimPoison>().is_none()
+                                    && g.poisoned.is_none()
+                                {
+                                    let msg = panic_message(payload.as_ref());
+                                    let name = g.procs[pid].name.clone();
+                                    g.poisoned = Some((name, msg));
+                                }
+                            }
+                        }
+                        g.running = None;
+                        drop(g);
+                        shared2.engine_cv.notify_one();
+                    })
+                    .expect("spawn simulated process thread");
+                handles.push(handle);
+            }
 
-        let error = Self::schedule_loop(&shared);
+            let error = Self::schedule_loop(&shared);
 
-        for h in handles {
-            let _ = h.join();
-        }
+            for h in handles {
+                let _ = h.join();
+            }
+            error
+        };
 
         let shared = Arc::try_unwrap(shared)
             .unwrap_or_else(|_| panic!("simulation threads leaked a ProcCtx"));
         let coalesce_advances = shared.coalesce_advances.load(Ordering::Relaxed);
         let coalesce_flushes = shared.coalesce_flushes.load(Ordering::Relaxed);
         let par_workers = shared.par as u64;
+        let sm_stats: FiberStats = shared.sm.as_ref().map(|fs| fs.stats()).unwrap_or_default();
         let inner = shared.inner.into_inner();
 
         if let Some(err) = error {
@@ -1100,6 +1280,9 @@ impl<W: World> Engine<W> {
             reg.add(em::DIRECT_SELF, inner.direct_self);
             reg.add(em::PAR_PRE_RELEASES, inner.pre_releases);
             reg.add(em::PAR_PROMOTIONS, inner.promotions);
+            reg.add(em::SM_POLLS, inner.sm_polls);
+            reg.add(em::SM_PARKS, sm_stats.parks);
+            reg.add(em::SM_RESUMES, sm_stats.starts + sm_stats.resumes);
             let ws = inner.queue.wheel_stats();
             reg.add(em::WHEEL_DUE, ws.push_due);
             reg.add(em::WHEEL_L0, ws.push_l0);
@@ -1109,6 +1292,7 @@ impl<W: World> Engine<W> {
             reg.gauge_max(em::READY_PEAK, inner.ready.peak as u64);
             reg.gauge_max(em::QUEUE_PEAK, inner.queue.peak() as u64);
             reg.gauge_max(em::PAR_WORKERS, par_workers);
+            reg.gauge_max(em::SM_RANK_MEM_PEAK, sm_stats.stack_bytes_peak);
             reg.snapshot()
         };
         Ok((
@@ -1174,6 +1358,86 @@ impl<W: World> Engine<W> {
                     return Some(SimError::Deadlock { at, blocked });
                 }
             }
+        }
+    }
+
+    /// sm-backend coordinator: the same loop shape as [`Self::schedule_loop`]
+    /// run on the calling thread, with fiber switches in place of gate
+    /// opens. Whenever this loop executes, no process is mid-step (a fiber
+    /// hands control back only after clearing `running`), so the
+    /// `running.is_some()` wait of the thread backend has no analogue.
+    fn schedule_loop_sm(shared: &Arc<Shared<W>>) -> Option<SimError> {
+        let fs = shared.sm.as_ref().expect("sm backend has a fiber set");
+        let mut g = shared.inner.lock();
+        loop {
+            if let Some((name, message)) = g.poisoned.clone() {
+                Self::teardown_sm(shared, &mut g);
+                return Some(SimError::ProcPanic { name, message });
+            }
+            debug_assert!(
+                g.running.is_none(),
+                "driver resumed with a process mid-step"
+            );
+            g.sm_polls += 1;
+            match decide(&mut g, shared) {
+                Decision::Run(pid) => {
+                    // Mirror the thread backend's drop-before-open: the
+                    // resumed fiber re-takes the lock itself.
+                    MutexGuard::unlocked(&mut g, || fs.resume(pid));
+                }
+                Decision::Idle => {
+                    if g.poisoned.is_some() {
+                        continue;
+                    }
+                    let blocked: Vec<BlockedProc> = g
+                        .procs
+                        .iter()
+                        .filter(|p| p.state == ProcState::Blocked)
+                        .map(|p| BlockedProc {
+                            name: p.name.clone(),
+                            blocked_at: p.clock,
+                        })
+                        .collect();
+                    if blocked.is_empty() {
+                        return None; // all processes finished
+                    }
+                    let at = g
+                        .procs
+                        .iter()
+                        .map(|p| p.clock)
+                        .max()
+                        .unwrap_or(SimTime::ZERO);
+                    Self::teardown_sm(shared, &mut g);
+                    return Some(SimError::Deadlock { at, blocked });
+                }
+            }
+        }
+    }
+
+    /// sm-backend teardown: unwind every parked fiber (resume it with the
+    /// poison flag set, so it raises [`SimPoison`] at its park site), and
+    /// drop never-started processes without giving them a stack — the
+    /// analogue of the thread backend's initial-grant poison handler.
+    fn teardown_sm(shared: &Arc<Shared<W>>, g: &mut MutexGuard<'_, Inner<W>>) {
+        let fs = shared.sm.as_ref().expect("sm backend has a fiber set");
+        loop {
+            let victim = g
+                .procs
+                .iter()
+                .position(|p| matches!(p.state, ProcState::Ready | ProcState::Blocked));
+            let Some(pid) = victim else { break };
+            if fs.not_started(pid) {
+                g.procs[pid].state = ProcState::Panicked;
+                fs.abandon(pid);
+                continue;
+            }
+            g.procs[pid].state = ProcState::Running;
+            g.running = Some(pid);
+            shared.sm_poison[pid].store(true, Ordering::Relaxed);
+            // The resume returns only once the fiber has fully unwound and
+            // handed control back (its body epilogue clears `running`).
+            MutexGuard::unlocked(g, || fs.resume(pid));
+            debug_assert!(g.running.is_none(), "poisoned fiber did not unwind");
         }
     }
 
@@ -1667,7 +1931,17 @@ mod tests {
         par: Option<usize>,
         lookahead: SimDuration,
     ) -> (Vec<String>, SimTime, u64, Vec<SimTime>) {
+        modes_workload_on(None, coalesce, par, lookahead)
+    }
+
+    fn modes_workload_on(
+        backend: Option<Backend>,
+        coalesce: Option<bool>,
+        par: Option<usize>,
+        lookahead: SimDuration,
+    ) -> (Vec<String>, SimTime, u64, Vec<SimTime>) {
         let mut eng = Engine::new(MailWorld::new(5));
+        eng.set_backend(backend);
         eng.set_coalesce(coalesce);
         eng.set_par(par);
         eng.set_lookahead(lookahead);
@@ -1781,5 +2055,153 @@ mod tests {
         let (_, out) = eng.run().unwrap();
         assert_eq!(out.events_processed, 30);
         assert_eq!(out.end_time, SimTime(5_000), "sink wakes at last delivery");
+    }
+
+    // ------------------------------------------------------------------
+    // Proc-state-machine (sm) backend
+    // ------------------------------------------------------------------
+
+    #[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+    mod sm_backend {
+        use super::*;
+
+        #[test]
+        fn matches_threads_bit_for_bit() {
+            let threads = modes_workload_on(Some(Backend::Threads), None, None, SimDuration::ZERO);
+            let sm = modes_workload_on(Some(Backend::Sm), None, None, SimDuration::ZERO);
+            assert_eq!(sm, threads, "sm backend must be byte-identical");
+        }
+
+        #[test]
+        fn matches_threads_with_coalescing_off() {
+            let threads =
+                modes_workload_on(Some(Backend::Threads), Some(false), None, SimDuration::ZERO);
+            let sm = modes_workload_on(Some(Backend::Sm), Some(false), None, SimDuration::ZERO);
+            assert_eq!(sm, threads, "sm × eager compute must be byte-identical");
+        }
+
+        #[test]
+        fn par_request_is_clamped_without_changing_results() {
+            let serial = modes_workload_on(Some(Backend::Sm), None, Some(1), SimDuration::ZERO);
+            let par = modes_workload_on(Some(Backend::Sm), None, Some(4), SimDuration::micros(5));
+            assert_eq!(par, serial, "sm clamps par to 1; results must not move");
+        }
+
+        #[test]
+        fn sm_counters_populate_and_thread_counters_stay_zero() {
+            let run = |backend| {
+                let mut eng = Engine::new(MailWorld::new(3));
+                eng.set_backend(Some(backend));
+                eng.spawn("sender", |ctx| {
+                    for i in 0..20u64 {
+                        ctx.advance(SimDuration::nanos(50));
+                        send(&ctx, 1, i, SimDuration::micros(1));
+                    }
+                });
+                eng.spawn("receiver", |ctx| {
+                    for _ in 0..20 {
+                        recv(&ctx);
+                    }
+                });
+                eng.spawn("bystander", |ctx| {
+                    ctx.advance(SimDuration::micros(3));
+                    ctx.yield_now();
+                });
+                let (_, out) = eng.run().unwrap();
+                out
+            };
+            let sm = run(Backend::Sm);
+            assert!(sm.metrics.get("sim.sm.polls").unwrap_or(0) > 0);
+            assert!(sm.metrics.get("sim.sm.parks").unwrap_or(0) > 0);
+            assert!(sm.metrics.get("sim.sm.resumes").unwrap_or(0) > 0);
+            assert!(
+                sm.metrics.get("sim.sm.rank_mem_peak").unwrap_or(0) > 0,
+                "fibers ran, so some stack depth was observed"
+            );
+            let th = run(Backend::Threads);
+            assert_eq!(th.metrics.get("sim.sm.polls"), Some(0));
+            assert_eq!(th.metrics.get("sim.sm.parks"), Some(0));
+            assert_eq!(th.metrics.get("sim.sm.resumes"), Some(0));
+            assert_eq!(th.metrics.get("sim.sm.rank_mem_peak"), Some(0));
+            // The scheduler-proper counters are substrate-independent.
+            assert_eq!(
+                sm.metrics.get("sim.handoffs"),
+                th.metrics.get("sim.handoffs")
+            );
+            assert_eq!(sm.metrics.get("sim.events"), th.metrics.get("sim.events"));
+            assert_eq!(
+                sm.metrics.get("sim.fast_resumes"),
+                th.metrics.get("sim.fast_resumes")
+            );
+            assert_eq!(
+                sm.metrics.get("sim.direct.handoffs"),
+                th.metrics.get("sim.direct.handoffs")
+            );
+        }
+
+        #[test]
+        fn deadlock_is_detected_and_torn_down() {
+            let mut eng = Engine::new(MailWorld::new(2));
+            eng.set_backend(Some(Backend::Sm));
+            eng.spawn("a", |ctx| {
+                recv(&ctx); // nobody ever sends
+            });
+            eng.spawn("b", |ctx| {
+                ctx.advance(SimDuration::micros(1));
+            });
+            match eng.run() {
+                Err(SimError::Deadlock { blocked, .. }) => {
+                    assert_eq!(blocked.len(), 1);
+                    assert_eq!(blocked[0].name, "a");
+                }
+                other => panic!("expected deadlock, got {:?}", other.map(|(_, o)| o)),
+            }
+        }
+
+        #[test]
+        fn proc_panic_unwinds_every_fiber_including_never_started() {
+            let mut eng = Engine::new(MailWorld::new(3));
+            eng.set_backend(Some(Backend::Sm));
+            eng.spawn("victim", |ctx| {
+                let _ = &ctx;
+                panic!("boom in fiber");
+            });
+            eng.spawn("waiter", |ctx| {
+                recv(&ctx);
+            });
+            eng.spawn("late", |ctx| {
+                // Never scheduled: the victim panics on the very first
+                // grant, so this body must be dropped unstarted.
+                ctx.advance(SimDuration::millis(1000));
+            });
+            match eng.run() {
+                Err(SimError::ProcPanic { name, message }) => {
+                    assert_eq!(name, "victim");
+                    assert!(message.contains("boom in fiber"), "got {message:?}");
+                }
+                other => panic!("expected panic error, got {:?}", other.map(|(_, o)| o)),
+            }
+        }
+
+        #[test]
+        fn large_world_runs_in_one_thread() {
+            // A np=512 ring of yields: far beyond what the thread backend
+            // is asked to do in unit tests, trivial for fibers.
+            let n = 512usize;
+            let mut eng = Engine::new(MailWorld::new(n));
+            eng.set_backend(Some(Backend::Sm));
+            for pid in 0..n {
+                eng.spawn(format!("r{pid}"), move |ctx| {
+                    let next = (pid + 1) % ctx.nprocs();
+                    ctx.advance(SimDuration::nanos(10 * (pid as u64 % 7 + 1)));
+                    send(&ctx, next, pid as u64, SimDuration::micros(1));
+                    let (v, _) = recv(&ctx);
+                    assert_eq!(v as usize, (pid + ctx.nprocs() - 1) % ctx.nprocs());
+                });
+            }
+            let (_, out) = eng.run().unwrap();
+            assert_eq!(out.proc_finish.len(), n);
+            assert!(out.metrics.get("sim.sm.resumes").unwrap_or(0) > 0);
+        }
     }
 }

@@ -1,0 +1,698 @@
+//! Stackful-coroutine substrate for the engine's `sm` backend.
+//!
+//! A *fiber* is a suspended computation: a privately owned stack plus a
+//! saved stack pointer. Switching fibers saves the callee-saved register
+//! file on the current stack, stores the stack pointer, and restores the
+//! target's — a user-space context switch that costs tens of nanoseconds
+//! instead of the microseconds of a futex round trip. The `sm` engine
+//! backend hosts every simulated process on a fiber multiplexed onto the
+//! *one* OS thread that called `Engine::run`, which is what lets
+//! np = 1024–4096 worlds run where thread-per-rank cannot.
+//!
+//! This is the only module in the crate that uses `unsafe`; the rest of
+//! the workspace keeps `deny(unsafe_code)`. The unsafety is confined to
+//! three well-trodden pieces (the same layout `boost.context` and every
+//! green-thread runtime use):
+//!
+//! 1. the assembly switch ([`raw_switch`]) — save callee-saved registers,
+//!    swap stack pointers, restore;
+//! 2. the entry trampoline — a prepared initial stack frame whose return
+//!    address is a naked shim that forwards a payload pointer into
+//!    [`fiber_entry`];
+//! 3. raw stack allocation — stacks come from `std::alloc::alloc`
+//!    **uninitialized**, so the pages are lazily committed by the kernel:
+//!    4096 one-MiB stacks reserve 4 GiB of address space but only the
+//!    pages a rank actually touches become resident. (`vec![0; n]` would
+//!    defeat exactly that.)
+//!
+//! Floating-point *control* state (`mxcsr`/x87 on x86-64, `fpcr` on
+//! aarch64) is not switched: nothing in this workspace changes rounding
+//! or exception modes, so every fiber shares the process default.
+//!
+//! Safety protocol for the callers in `engine.rs`: all fibers of one
+//! [`FiberSet`] are driven from a single OS thread; a switch is only
+//! performed with no borrows of the set's interior outstanding; and a
+//! fiber's stack is only freed after the fiber has run to completion
+//! (its entry function returned control for the last time).
+
+#![allow(unsafe_code)]
+
+use std::alloc::{alloc, dealloc, Layout};
+
+/// Magic word written at the low end of every stack; overwritten means the
+/// fiber overflowed its stack.
+const CANARY: u64 = 0x5AFE_57AC_F1BE_55AA;
+
+/// Architectures with a [`raw_switch`] implementation.
+pub const SUPPORTED: bool = cfg!(any(target_arch = "x86_64", target_arch = "aarch64"));
+
+// ---------------------------------------------------------------------------
+// The context switch.
+// ---------------------------------------------------------------------------
+//
+// `raw_switch(save, load)` pushes the callee-saved register file onto the
+// current stack, stores the resulting stack pointer through `save`, loads
+// `load` as the new stack pointer, pops the register file found there and
+// returns — on the target's stack, to the target's caller. From the Rust
+// caller's point of view it is an ordinary `extern "C"` call that happens
+// to take a long time to return; caller-saved registers are dead across
+// any call per the ABI, and callee-saved registers are restored from the
+// save area, so no register state leaks between fibers.
+
+#[cfg(target_arch = "x86_64")]
+#[unsafe(naked)]
+unsafe extern "C" fn raw_switch(_save: *mut *mut u8, _load: *mut u8) {
+    // System V AMD64: rdi = save slot, rsi = new stack pointer.
+    core::arch::naked_asm!(
+        "push rbp",
+        "push rbx",
+        "push r12",
+        "push r13",
+        "push r14",
+        "push r15",
+        "mov [rdi], rsp",
+        "mov rsp, rsi",
+        "pop r15",
+        "pop r14",
+        "pop r13",
+        "pop r12",
+        "pop rbx",
+        "pop rbp",
+        "ret",
+    )
+}
+
+#[cfg(target_arch = "x86_64")]
+#[unsafe(naked)]
+unsafe extern "C" fn fiber_trampoline() {
+    // First activation of a fiber: the prepared frame placed the payload
+    // pointer in r12 (restored by `raw_switch`'s pops). Realign the stack
+    // and enter Rust. `fiber_entry` never returns (its final act is a
+    // switch away from a completed fiber); the trap instruction documents
+    // that.
+    core::arch::naked_asm!(
+        "mov rdi, r12",
+        "and rsp, -16",
+        "call {entry}",
+        "ud2",
+        entry = sym fiber_entry,
+    )
+}
+
+#[cfg(target_arch = "aarch64")]
+#[unsafe(naked)]
+unsafe extern "C" fn raw_switch(_save: *mut *mut u8, _load: *mut u8) {
+    // AAPCS64: x0 = save slot, x1 = new stack pointer. Callee-saved:
+    // x19–x28, fp (x29), lr (x30), d8–d15 — 160 bytes, 16-aligned.
+    core::arch::naked_asm!(
+        "sub sp, sp, #160",
+        "stp x19, x20, [sp, #0]",
+        "stp x21, x22, [sp, #16]",
+        "stp x23, x24, [sp, #32]",
+        "stp x25, x26, [sp, #48]",
+        "stp x27, x28, [sp, #64]",
+        "stp x29, x30, [sp, #80]",
+        "stp d8, d9, [sp, #96]",
+        "stp d10, d11, [sp, #112]",
+        "stp d12, d13, [sp, #128]",
+        "stp d14, d15, [sp, #144]",
+        "mov x2, sp",
+        "str x2, [x0]",
+        "mov sp, x1",
+        "ldp x19, x20, [sp, #0]",
+        "ldp x21, x22, [sp, #16]",
+        "ldp x23, x24, [sp, #32]",
+        "ldp x25, x26, [sp, #48]",
+        "ldp x27, x28, [sp, #64]",
+        "ldp x29, x30, [sp, #80]",
+        "ldp d8, d9, [sp, #96]",
+        "ldp d10, d11, [sp, #112]",
+        "ldp d12, d13, [sp, #128]",
+        "ldp d14, d15, [sp, #144]",
+        "add sp, sp, #160",
+        "ret",
+    )
+}
+
+#[cfg(target_arch = "aarch64")]
+#[unsafe(naked)]
+unsafe extern "C" fn fiber_trampoline() {
+    // First activation: the prepared frame put the payload pointer in x19
+    // and this shim's address in x30 (`ret` above branches here).
+    core::arch::naked_asm!(
+        "mov x0, x19",
+        "bl {entry}",
+        "brk #0x1",
+        entry = sym fiber_entry,
+    )
+}
+
+#[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+unsafe extern "C" fn raw_switch(_save: *mut *mut u8, _load: *mut u8) {
+    unreachable!("sm backend is gated on SUPPORTED");
+}
+
+// ---------------------------------------------------------------------------
+// Stacks and entry payloads.
+// ---------------------------------------------------------------------------
+
+/// A raw, lazily committed fiber stack.
+struct Stack {
+    base: *mut u8,
+    size: usize,
+}
+
+impl Stack {
+    fn layout(size: usize) -> Layout {
+        Layout::from_size_align(size, 16).expect("stack layout")
+    }
+
+    fn new(size: usize) -> Self {
+        // Deliberately *uninitialized*: committing pages up front would
+        // make every np=4096 world pay 4096 full stacks of resident
+        // memory before a single rank runs.
+        let base = unsafe { alloc(Self::layout(size)) };
+        assert!(!base.is_null(), "fiber stack allocation failed");
+        // The canary is the single low-end word we do initialize.
+        unsafe { (base as *mut u64).write(CANARY) };
+        Stack { base, size }
+    }
+
+    #[inline]
+    fn top(&self) -> *mut u8 {
+        // Keep the top 16-aligned (alloc guarantees base alignment and
+        // size is a multiple of 16 by construction in FiberSet::new).
+        unsafe { self.base.add(self.size) }
+    }
+
+    #[inline]
+    fn canary_intact(&self) -> bool {
+        unsafe { (self.base as *const u64).read() == CANARY }
+    }
+}
+
+impl Drop for Stack {
+    fn drop(&mut self) {
+        unsafe { dealloc(self.base, Self::layout(self.size)) };
+    }
+}
+
+/// Payload handed to [`fiber_entry`] on a fiber's first activation. Boxed
+/// so its address is stable while the fiber lives.
+struct Entry {
+    set: *const FiberSet,
+    index: usize,
+    /// The fiber body; `None` once taken at first activation.
+    func: Option<Box<dyn FnOnce()>>,
+}
+
+/// Rust-side first activation of a fiber: run the body, then hand control
+/// back to the driver forever.
+unsafe extern "C" fn fiber_entry(payload: *mut Entry) {
+    let (set, index, func) = unsafe {
+        let e = &mut *payload;
+        (e.set, e.index, e.func.take().expect("fiber body present"))
+    };
+    func();
+    // The body returned: mark this fiber completed and switch to the
+    // driver context, never to run again.
+    unsafe { (*set).finish(index) };
+    unreachable!("a completed fiber was resumed");
+}
+
+// ---------------------------------------------------------------------------
+// The fiber set.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FiberState {
+    /// Body registered, no stack yet.
+    NotStarted,
+    /// Suspended at a switch point, resumable.
+    Parked,
+    /// Currently executing (control is on its stack).
+    Active,
+    /// Body returned; stack freed or about to be.
+    Done,
+}
+
+struct FiberSlot {
+    state: FiberState,
+    stack: Option<Stack>,
+    /// Saved stack pointer while parked (or the prepared initial frame).
+    sp: *mut u8,
+    entry: Option<Box<Entry>>,
+    /// High-water stack usage in bytes, sampled at every switch out.
+    peak: usize,
+}
+
+/// Deterministic wall-clock statistics of one driver run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FiberStats {
+    /// Fibers activated for the first time.
+    pub starts: u64,
+    /// Switches into an already-started fiber.
+    pub resumes: u64,
+    /// Switches out of a fiber at a suspension point.
+    pub parks: u64,
+    /// Peak concurrently allocated stacks.
+    pub stacks_peak: u64,
+    /// Largest observed per-fiber stack usage, bytes.
+    pub stack_bytes_peak: u64,
+}
+
+/// A fixed-size set of fibers driven from one OS thread.
+///
+/// Exactly one context of {driver, fibers} executes at any instant; the
+/// driver context is the thread that calls [`FiberSet::resume`] from
+/// outside any fiber. All methods must be called on that thread.
+pub struct FiberSet {
+    inner: std::cell::UnsafeCell<SetInner>,
+}
+
+// One FiberSet is confined to one OS thread by the safety protocol above;
+// the markers exist only so the engine's `Shared` (which is `Sync` for the
+// thread backend's sake) can hold an `Option<FiberSet>`.
+unsafe impl Send for FiberSet {}
+unsafe impl Sync for FiberSet {}
+
+struct SetInner {
+    slots: Vec<FiberSlot>,
+    /// Saved driver-context stack pointer while a fiber runs.
+    driver_sp: *mut u8,
+    /// Index of the executing fiber, or `usize::MAX` for the driver.
+    current: usize,
+    stack_size: usize,
+    stacks_live: u64,
+    stats: FiberStats,
+}
+
+const DRIVER: usize = usize::MAX;
+
+impl FiberSet {
+    /// A set of `n` fibers with `stack_size`-byte stacks (rounded up to a
+    /// multiple of 16, floored at 32 KiB). Bodies are registered with
+    /// [`FiberSet::set_body`]; stacks are allocated lazily at first resume.
+    pub fn new(n: usize, stack_size: usize) -> Self {
+        if !SUPPORTED {
+            panic!("fiber backend unsupported on this architecture");
+        }
+        let stack_size = stack_size.max(32 << 10).next_multiple_of(16);
+        FiberSet {
+            inner: std::cell::UnsafeCell::new(SetInner {
+                slots: (0..n)
+                    .map(|_| FiberSlot {
+                        state: FiberState::NotStarted,
+                        stack: None,
+                        sp: std::ptr::null_mut(),
+                        entry: None,
+                        peak: 0,
+                    })
+                    .collect(),
+                driver_sp: std::ptr::null_mut(),
+                current: DRIVER,
+                stack_size,
+                stacks_live: 0,
+                stats: FiberStats::default(),
+            }),
+        }
+    }
+
+    /// Register fiber `i`'s body. Must be called before its first resume.
+    pub fn set_body(&self, i: usize, f: Box<dyn FnOnce()>) {
+        let inner = unsafe { &mut *self.inner.get() };
+        let set_ptr = self as *const FiberSet;
+        inner.slots[i].entry = Some(Box::new(Entry {
+            set: set_ptr,
+            index: i,
+            func: Some(f),
+        }));
+    }
+
+    /// True when fiber `i` has run to completion.
+    #[cfg(test)]
+    pub fn is_done(&self, i: usize) -> bool {
+        let inner = unsafe { &*self.inner.get() };
+        inner.slots[i].state == FiberState::Done
+    }
+
+    /// True when fiber `i` has never run.
+    pub fn not_started(&self, i: usize) -> bool {
+        let inner = unsafe { &*self.inner.get() };
+        inner.slots[i].state == FiberState::NotStarted
+    }
+
+    /// Abandon fiber `i` without ever starting it (drops its body). Only
+    /// legal while `not_started`.
+    pub fn abandon(&self, i: usize) {
+        let inner = unsafe { &mut *self.inner.get() };
+        let slot = &mut inner.slots[i];
+        assert_eq!(
+            slot.state,
+            FiberState::NotStarted,
+            "abandon a started fiber"
+        );
+        slot.state = FiberState::Done;
+        slot.entry = None;
+    }
+
+    /// Transfer control to fiber `to`, suspending the calling context
+    /// (driver or another fiber) until something switches back. Allocates
+    /// `to`'s stack on first activation; frees stacks of completed fibers
+    /// whenever the driver context is the caller.
+    pub fn resume(&self, to: usize) {
+        let (save, load) = {
+            let inner = unsafe { &mut *self.inner.get() };
+            let from = inner.current;
+            if from == DRIVER {
+                // Cheap housekeeping point: completed fibers' stacks are
+                // only freed from the driver, never from a fiber that
+                // might be standing on one.
+                Self::sweep(inner);
+            } else {
+                Self::note_park(inner, from);
+            }
+            let to_slot = &mut inner.slots[to];
+            match to_slot.state {
+                FiberState::NotStarted => {
+                    let stack = Stack::new(inner.stack_size);
+                    to_slot.sp = prepare_frame(
+                        stack.top(),
+                        to_slot
+                            .entry
+                            .as_mut()
+                            .expect("fiber body registered")
+                            .as_mut(),
+                    );
+                    to_slot.stack = Some(stack);
+                    to_slot.state = FiberState::Active;
+                    inner.stacks_live += 1;
+                    inner.stats.stacks_peak = inner.stats.stacks_peak.max(inner.stacks_live);
+                    inner.stats.starts += 1;
+                }
+                FiberState::Parked => {
+                    to_slot.state = FiberState::Active;
+                    inner.stats.resumes += 1;
+                }
+                FiberState::Active | FiberState::Done => {
+                    panic!("resume of a {:?} fiber", to_slot.state)
+                }
+            }
+            let load = inner.slots[to].sp;
+            inner.current = to;
+            let save: *mut *mut u8 = if from == DRIVER {
+                &mut inner.driver_sp
+            } else {
+                inner.slots[from].state = FiberState::Parked;
+                &mut inner.slots[from].sp
+            };
+            (save, load)
+            // Borrow of `inner` ends here; the switch below must not hold
+            // one (the resumed context will re-borrow).
+        };
+        unsafe { raw_switch(save, load) };
+        // Control returned to this context: someone set `current` back to
+        // us before switching. Nothing to do — the caller continues.
+    }
+
+    /// Transfer control from the executing fiber back to the driver
+    /// context.
+    pub fn yield_to_driver(&self) {
+        let (save, load) = {
+            let inner = unsafe { &mut *self.inner.get() };
+            let from = inner.current;
+            assert_ne!(from, DRIVER, "yield_to_driver from the driver");
+            Self::note_park(inner, from);
+            inner.slots[from].state = FiberState::Parked;
+            inner.current = DRIVER;
+            let save: *mut *mut u8 = &mut inner.slots[from].sp;
+            (save, inner.driver_sp)
+        };
+        unsafe { raw_switch(save, load) };
+    }
+
+    /// Called by [`fiber_entry`] when a fiber's body returns: mark it done
+    /// and hand control to the driver forever.
+    unsafe fn finish(&self, i: usize) {
+        let (save, load) = {
+            let inner = unsafe { &mut *self.inner.get() };
+            debug_assert_eq!(inner.current, i);
+            Self::note_park(inner, i);
+            inner.slots[i].state = FiberState::Done;
+            inner.slots[i].entry = None;
+            inner.current = DRIVER;
+            // The stack we are standing on is freed later, by the driver
+            // (see `sweep`).
+            let save: *mut *mut u8 = &mut inner.slots[i].sp;
+            (save, inner.driver_sp)
+        };
+        unsafe { raw_switch(save, load) };
+        unreachable!("a completed fiber was resumed");
+    }
+
+    /// Record the outgoing fiber's stack depth and check its canary.
+    fn note_park(inner: &mut SetInner, i: usize) {
+        inner.stats.parks += 1;
+        let slot = &mut inner.slots[i];
+        if let Some(stack) = &slot.stack {
+            // Approximate the live depth with the address of a local.
+            let probe = 0u8;
+            let depth = (stack.top() as usize).saturating_sub(&probe as *const u8 as usize);
+            if depth > slot.peak {
+                slot.peak = depth;
+                let d = depth as u64;
+                if d > inner.stats.stack_bytes_peak {
+                    inner.stats.stack_bytes_peak = d;
+                }
+            }
+            assert!(
+                stack.canary_intact(),
+                "fiber {i} overflowed its {}-byte stack; raise VIAMPI_SM_STACK",
+                stack.size,
+            );
+        }
+    }
+
+    /// Free the stacks of completed fibers (driver context only).
+    fn sweep(inner: &mut SetInner) {
+        for slot in &mut inner.slots {
+            if slot.state == FiberState::Done && slot.stack.is_some() {
+                slot.stack = None;
+                inner.stacks_live -= 1;
+            }
+        }
+    }
+
+    /// Statistics of the run so far.
+    pub fn stats(&self) -> FiberStats {
+        let inner = unsafe { &*self.inner.get() };
+        inner.stats
+    }
+
+    /// Drop every remaining body and stack. Must be called from the driver
+    /// context with no fiber active; used before tearing the set down so
+    /// no `Entry` (and nothing it captured) outlives the run.
+    pub fn clear(&self) {
+        let inner = unsafe { &mut *self.inner.get() };
+        assert_eq!(inner.current, DRIVER, "clear with a fiber active");
+        for slot in &mut inner.slots {
+            assert_ne!(slot.state, FiberState::Active);
+            if slot.state == FiberState::Parked {
+                // A parked fiber would leak its stack contents' owners;
+                // the engine guarantees teardown unwinds every fiber
+                // before clearing.
+                panic!("clear with a parked fiber");
+            }
+            slot.entry = None;
+            if slot.stack.take().is_some() {
+                inner.stacks_live -= 1;
+            }
+        }
+    }
+}
+
+/// Build the initial stack frame for a fiber so that the first
+/// [`raw_switch`] into it lands in [`fiber_trampoline`] with the payload
+/// pointer in the designated callee-saved register.
+#[cfg(target_arch = "x86_64")]
+fn prepare_frame(top: *mut u8, entry: &mut Entry) -> *mut u8 {
+    unsafe {
+        let mut sp = top as *mut u64;
+        // Slot for alignment + a null "return address" above the
+        // trampoline (never used; `fiber_trampoline` realigns and traps).
+        sp = sp.sub(1);
+        sp.write(0);
+        sp = sp.sub(1);
+        sp.write(fiber_trampoline as *const () as usize as u64); // popped by `ret`
+        sp = sp.sub(1);
+        sp.write(0); // rbp
+        sp = sp.sub(1);
+        sp.write(0); // rbx
+        sp = sp.sub(1);
+        sp.write(entry as *mut Entry as usize as u64); // r12 = payload
+        sp = sp.sub(1);
+        sp.write(0); // r13
+        sp = sp.sub(1);
+        sp.write(0); // r14
+        sp = sp.sub(1);
+        sp.write(0); // r15
+        sp as *mut u8
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+fn prepare_frame(top: *mut u8, entry: &mut Entry) -> *mut u8 {
+    unsafe {
+        // One 160-byte register frame, laid out as `raw_switch` expects.
+        let sp = top.sub(160);
+        std::ptr::write_bytes(sp, 0, 160);
+        let words = sp as *mut u64;
+        words.write(entry as *mut Entry as usize as u64); // x19 = payload
+        words.add(11).write(fiber_trampoline as usize as u64); // x30 = lr
+        sp
+    }
+}
+
+#[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+fn prepare_frame(_top: *mut u8, _entry: &mut Entry) -> *mut u8 {
+    unreachable!("fiber backend unsupported on this architecture");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn ping_pong_between_two_fibers() {
+        let set = Rc::new(FiberSet::new(2, 64 << 10));
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..2 {
+            let set2 = set.clone();
+            let log2 = log.clone();
+            set.set_body(
+                i,
+                Box::new(move || {
+                    for step in 0..3 {
+                        log2.borrow_mut().push((i, step));
+                        set2.yield_to_driver();
+                    }
+                }),
+            );
+        }
+        // Round-robin drive until both are done.
+        while !(set.is_done(0) && set.is_done(1)) {
+            for i in 0..2 {
+                if !set.is_done(i) {
+                    set.resume(i);
+                }
+            }
+        }
+        assert_eq!(
+            *log.borrow(),
+            vec![(0, 0), (1, 0), (0, 1), (1, 1), (0, 2), (1, 2)]
+        );
+        let st = set.stats();
+        assert_eq!(st.starts, 2);
+        assert_eq!(st.resumes, 6, "three yields each; the last resume finishes");
+        set.clear();
+    }
+
+    #[test]
+    fn fiber_to_fiber_direct_handoff() {
+        let set = Rc::new(FiberSet::new(2, 64 << 10));
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let (s0, l0) = (set.clone(), log.clone());
+        set.set_body(
+            0,
+            Box::new(move || {
+                l0.borrow_mut().push("a0");
+                s0.resume(1); // direct switch, not through the driver
+                l0.borrow_mut().push("a1");
+            }),
+        );
+        let l1 = log.clone();
+        set.set_body(
+            1,
+            Box::new(move || {
+                l1.borrow_mut().push("b0");
+            }),
+        );
+        set.resume(0); // a0, handoff, b0, finish -> driver
+        assert!(set.is_done(1));
+        assert!(!set.is_done(0));
+        set.resume(0); // a1, finish
+        assert!(set.is_done(0));
+        assert_eq!(*log.borrow(), vec!["a0", "b0", "a1"]);
+        set.clear();
+    }
+
+    #[test]
+    fn lazy_stacks_and_abandon() {
+        let set = FiberSet::new(3, 64 << 10);
+        set.set_body(0, Box::new(|| {}));
+        set.set_body(1, Box::new(|| {}));
+        set.set_body(2, Box::new(|| {}));
+        assert!(set.not_started(2));
+        set.abandon(2);
+        assert!(set.is_done(2));
+        set.resume(0);
+        set.resume(1);
+        let st = set.stats();
+        assert_eq!(st.starts, 2, "abandoned fiber never got a stack");
+        assert!(st.stack_bytes_peak > 0);
+        set.clear();
+    }
+
+    #[test]
+    fn panics_unwind_inside_the_fiber() {
+        let set = Rc::new(FiberSet::new(1, 64 << 10));
+        let caught = Rc::new(RefCell::new(false));
+        let c2 = caught.clone();
+        set.set_body(
+            0,
+            Box::new(move || {
+                let r = std::panic::catch_unwind(|| panic!("inside fiber"));
+                *c2.borrow_mut() = r.is_err();
+            }),
+        );
+        set.resume(0);
+        assert!(set.is_done(0));
+        assert!(*caught.borrow(), "panic was caught on the fiber stack");
+        set.clear();
+    }
+
+    #[test]
+    fn deep_call_chains_record_stack_usage() {
+        // Depth is sampled at suspension points, so park at the bottom of
+        // the recursion (exactly how engine ranks park deep inside call
+        // stacks).
+        fn burn(set: &FiberSet, n: usize) -> u64 {
+            let pad = [n as u64; 32];
+            if n == 0 {
+                set.yield_to_driver();
+                pad.iter().sum()
+            } else {
+                burn(set, n - 1) + std::hint::black_box(pad)[0]
+            }
+        }
+        let set = Rc::new(FiberSet::new(1, 256 << 10));
+        let s2 = set.clone();
+        set.set_body(
+            0,
+            Box::new(move || {
+                std::hint::black_box(burn(&s2, 64));
+            }),
+        );
+        set.resume(0); // runs to the bottom, parks
+        set.resume(0); // unwinds and finishes
+        let st = set.stats();
+        assert!(
+            st.stack_bytes_peak >= 64 * 32 * 8,
+            "peak {} must reflect the recursion",
+            st.stack_bytes_peak
+        );
+        set.clear();
+    }
+}

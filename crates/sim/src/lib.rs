@@ -5,8 +5,11 @@
 //! * [`SimTime`] / [`SimDuration`] — integer-nanosecond virtual time;
 //! * [`EventQueue`] — a `(time, sequence)`-ordered event heap;
 //! * [`Engine`] / [`ProcCtx`] / [`World`] — a cooperative scheduler where
-//!   every simulated process runs on its own OS thread but only one runs at
-//!   a real instant, picked by smallest virtual clock; hardware activity is
+//!   every simulated process runs as its own suspendable context — an OS
+//!   thread under the default `threads` backend, or a stackful coroutine
+//!   multiplexed onto the driving thread under the `sm` backend
+//!   ([`Backend`], `VIAMPI_ENGINE=threads|sm`) — but only one runs at a
+//!   real instant, picked by smallest virtual clock; hardware activity is
 //!   expressed as timestamped events handled by the [`World`];
 //! * deadlock detection (the original paper's correctness arguments about
 //!   connection progress are exercised by tests that *expect* deadlocks when
@@ -44,10 +47,15 @@
 //! ```
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the `fiber` module (the sm backend's stackful
+// coroutine substrate) carries the crate's only `allow(unsafe_code)`,
+// with the safety protocol documented at the top of that file. Every
+// other module remains unsafe-free.
+#![deny(unsafe_code)]
 
 mod engine;
 mod error;
+mod fiber;
 pub mod metrics;
 pub mod pool;
 mod queue;
@@ -55,7 +63,9 @@ mod rng;
 pub mod sync;
 mod time;
 
-pub use engine::{engine_totals, Api, Engine, EngineTotals, Outcome, ProcCtx, ProcId, World};
+pub use engine::{
+    engine_totals, Api, Backend, Engine, EngineTotals, Outcome, ProcCtx, ProcId, World,
+};
 pub use error::{BlockedProc, SimError};
 pub use metrics::{MetricEntry, MetricsSnapshot, Registry};
 pub use pool::{BufferPool, PoolStats, PooledBuf, Slab};

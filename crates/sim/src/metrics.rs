@@ -144,6 +144,9 @@ pub mod engine {
             DIRECT_SELF => "sim.direct.self_resumes": "Inline decisions that returned the token to the caller after event processing",
             PAR_PRE_RELEASES => "sim.par.pre_releases": "Processes released to run ahead inside the lookahead window",
             PAR_PROMOTIONS => "sim.par.promotions": "Pre-released processes promoted to token holder",
+            SM_POLLS => "sim.sm.polls": "Scheduling decisions taken by the state-machine backend's driver paths",
+            SM_PARKS => "sim.sm.parks": "Fiber suspensions under the state-machine backend",
+            SM_RESUMES => "sim.sm.resumes": "Fiber activations (first starts and resumes) under the state-machine backend",
             WHEEL_DUE => "sim.wheel.push_due": "Events merged straight into the sorted due buffer",
             WHEEL_L0 => "sim.wheel.push_l0": "Events filed in a level-0 wheel slot",
             WHEEL_L1 => "sim.wheel.push_l1": "Events filed in a level-1 wheel slot",
@@ -154,6 +157,7 @@ pub mod engine {
             READY_PEAK => "sim.ready_peak": "Peak ready-heap depth",
             QUEUE_PEAK => "sim.queue_peak": "Peak event-queue occupancy",
             PAR_WORKERS => "sim.par.workers": "Configured maximum concurrently-executing processes",
+            SM_RANK_MEM_PEAK => "sim.sm.rank_mem_peak": "Largest per-rank fiber stack usage in bytes (state-machine backend)",
         }
         hists {}
     }

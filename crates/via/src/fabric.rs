@@ -286,7 +286,7 @@ impl Fabric {
         };
         let data = self
             .pool
-            .from_slice(&self.nics[node].regions[mem.0 as usize].data[off..off + len]);
+            .from_slice(&self.nics[node].regions[mem.0 as usize].bytes()[off..off + len]);
         let desc = self.nics[node].alloc_desc();
         self.launch(
             api,
@@ -370,7 +370,7 @@ impl Fabric {
         };
         let data = self
             .pool
-            .from_slice(&self.nics[node].regions[mem.0 as usize].data[off..off + len]);
+            .from_slice(&self.nics[node].regions[mem.0 as usize].bytes()[off..off + len]);
         let desc = self.nics[node].alloc_desc();
         self.launch(
             api,
@@ -831,7 +831,7 @@ impl World for Fabric {
                         }
                         vi.recv_q.pop_front();
                         vi.msgs_recvd += 1;
-                        nic.regions[rd.mem.0 as usize].data[rd.off..rd.off + data.len()]
+                        nic.regions[rd.mem.0 as usize].bytes()[rd.off..rd.off + data.len()]
                             .copy_from_slice(&data);
                         nic.metrics.inc(nic_metrics::MSGS_RX);
                         nic.metrics.add(nic_metrics::BYTES_RX, data.len() as u64);
@@ -892,7 +892,7 @@ impl World for Fabric {
                             nic.metrics.inc(nic_metrics::DROPS_RDMA);
                             return;
                         }
-                        nic.regions[remote_mem.0 as usize].data
+                        nic.regions[remote_mem.0 as usize].bytes()
                             [remote_off..remote_off + data.len()]
                             .copy_from_slice(&data);
                         nic.metrics.inc(nic_metrics::MSGS_RX);

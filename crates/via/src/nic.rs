@@ -96,12 +96,41 @@ impl Vi {
 }
 
 /// A registered (pinned) memory region.
+///
+/// The backing bytes are committed lazily: registration records the length
+/// (pin accounting charges immediately, as on real hardware), but no host
+/// memory is allocated until the first simulated DMA or host access. Large
+/// worlds pre-post thousands of eager pools that are mostly never touched —
+/// those cost bookkeeping only, which is what keeps np=4096 runs resident.
 #[derive(Debug)]
 pub struct Region {
-    /// Backing storage; simulated DMA reads/writes address this directly.
-    pub data: Vec<u8>,
+    /// Backing storage; empty until [`Region::bytes`] first materializes it.
+    data: Vec<u8>,
+    /// Registered length (the accounting unit; `data` commits lazily).
+    len: usize,
     /// False once deregistered (slot retained so handles stay unique).
     pub active: bool,
+}
+
+impl Region {
+    /// Registered length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True for a zero-length registration.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The backing bytes, materialized (zero-filled) on first access —
+    /// simulated DMA reads/writes and host copies address this directly.
+    pub fn bytes(&mut self) -> &mut [u8] {
+        if self.data.is_empty() && self.len > 0 {
+            self.data = vec![0; self.len];
+        }
+        &mut self.data
+    }
 }
 
 /// Cumulative per-NIC statistics (the raw material of the paper's Table 2
@@ -290,7 +319,8 @@ impl Nic {
         }
         let h = MemHandle(self.regions.len() as u32);
         self.regions.push(Region {
-            data: vec![0; len],
+            data: Vec::new(),
+            len,
             active: true,
         });
         self.metrics.gauge_add(nic_metrics::PINNED_NOW, len as u64);
@@ -310,7 +340,7 @@ impl Nic {
         }
         r.active = false;
         self.metrics
-            .gauge_sub(nic_metrics::PINNED_NOW, r.data.len() as u64);
+            .gauge_sub(nic_metrics::PINNED_NOW, r.len as u64);
         let freed = std::mem::take(&mut r.data);
         drop(freed);
         Ok(())
@@ -325,7 +355,7 @@ impl Nic {
         if !r.active {
             return Err(ViaError::InvalidMem);
         }
-        if off.checked_add(len).is_none_or(|end| end > r.data.len()) {
+        if off.checked_add(len).is_none_or(|end| end > r.len) {
             return Err(ViaError::OutOfBounds);
         }
         Ok(())

@@ -117,7 +117,7 @@ impl ViaPort {
         let node = self.node;
         self.ctx.with_world(|f, _| {
             f.nics[node].check_bounds(h, off, data.len())?;
-            f.nics[node].regions[h.0 as usize].data[off..off + data.len()].copy_from_slice(data);
+            f.nics[node].regions[h.0 as usize].bytes()[off..off + data.len()].copy_from_slice(data);
             Ok(())
         })
     }
@@ -127,7 +127,7 @@ impl ViaPort {
         let node = self.node;
         self.ctx.with_world(|f, _| {
             f.nics[node].check_bounds(h, off, len)?;
-            Ok(f.nics[node].regions[h.0 as usize].data[off..off + len].to_vec())
+            Ok(f.nics[node].regions[h.0 as usize].bytes()[off..off + len].to_vec())
         })
     }
 
@@ -143,7 +143,9 @@ impl ViaPort {
         let node = self.node;
         self.ctx.with_world(|w, _| {
             w.nics[node].check_bounds(h, off, len)?;
-            Ok(f(&w.nics[node].regions[h.0 as usize].data[off..off + len]))
+            Ok(f(
+                &w.nics[node].regions[h.0 as usize].bytes()[off..off + len]
+            ))
         })
     }
 
@@ -172,8 +174,8 @@ impl ViaPort {
         let node = self.node;
         self.ctx.with_world(|w, _| {
             w.nics[node].check_bounds(h, off, len)?;
-            Ok(w.pool()
-                .from_slice(&w.nics[node].regions[h.0 as usize].data[off..off + len]))
+            let pool = w.pool();
+            Ok(pool.from_slice(&w.nics[node].regions[h.0 as usize].bytes()[off..off + len]))
         })
     }
 

@@ -7,7 +7,7 @@
 #   scripts/check.sh                       # the full gate (default)
 #   scripts/check.sh determinism [MODE]    # just the determinism suite,
 #                                          # MODE ∈ {fastpath (default),
-#                                          #         no-fastpath, par2}
+#                                          #         no-fastpath, par2, sm}
 #
 # The determinism stage is what CI's matrix legs call, so the exact
 # command — and the engine-mode environment it runs under — lives here
@@ -20,6 +20,7 @@ determinism_suite() {
         fastpath) ;;
         no-fastpath) export VIAMPI_NO_FASTPATH=1 ;;
         par2) export VIAMPI_PAR=2 ;;
+        sm) export VIAMPI_ENGINE=sm ;;
         *)
             echo "check.sh: unknown determinism mode '${1}'" >&2
             exit 2
@@ -49,6 +50,9 @@ cargo test -q --offline --locked --workspace
 echo "== determinism suite under the parallel engine (VIAMPI_PAR=2)"
 # Subshell: the mode's exported environment must not leak into later stages.
 (determinism_suite par2)
+
+echo "== determinism suite under the state-machine backend (VIAMPI_ENGINE=sm)"
+(determinism_suite sm)
 
 echo "== simcheck campaign frontier (timeboxed, resumes committed coverage)"
 # Work on a scratch copy: the committed state is the frontier baseline and
