@@ -1,0 +1,7 @@
+//! Regenerates Figure 9 (MPI+threads message rate: shared VI vs multi-VI
+//! endpoints).
+fn main() {
+    viampi_bench::runner::init_from_args();
+    let (text, _) = viampi_bench::experiments::fig9();
+    println!("{text}");
+}

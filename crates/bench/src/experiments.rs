@@ -1046,3 +1046,146 @@ pub fn tab2_largen() -> (String, Vec<Tab2LargenRow>) {
     );
     (text, data)
 }
+
+// ========================================================================
+// Figure 9 — MPI+threads message rate: shared VI vs multi-VI endpoints
+// ========================================================================
+
+/// One Fig. 9 series point: `threads` simulated producer threads per rank
+/// driving a bidirectional pair exchange, either funnelled through one
+/// shared VI per peer or striped across `vis_per_peer` endpoint VIs.
+#[derive(Debug, Clone)]
+pub struct Fig9Point {
+    /// Device profile name.
+    pub device: String,
+    /// Connection-mode label.
+    pub mode: String,
+    /// Endpoint layout: `shared` (one VI per pair) or `striped`
+    /// (`vis_per_peer == threads`, one VI per producer thread).
+    pub endpoints: String,
+    /// Configured VIs per peer pair.
+    pub vis_per_peer: usize,
+    /// Simulated producer threads per rank.
+    pub threads: usize,
+    /// Steady-state message rate per rank, thousand msgs/s.
+    pub rate_kmsgs: f64,
+    /// Total NIC producer switches (shared-VI lock-convoy events).
+    pub producer_switches: u64,
+    /// Total virtual time charged to VI lock convoys, µs.
+    pub convoy_us: f64,
+}
+
+impl_json!(Fig9Point {
+    device,
+    mode,
+    endpoints,
+    vis_per_peer,
+    threads,
+    rate_kmsgs,
+    producer_switches,
+    convoy_us
+});
+
+/// The Fig. 9 measurement kernel: per-rank steady-state message rate
+/// (thousand msgs/s) of a `threads`-producer bidirectional pair exchange
+/// at np = 2, with `vis_per_peer` endpoint VIs per pair. A one-message
+/// warm-up round brings every stripe up first (so on-demand connection
+/// setup stays out of the measured window), then `msgs` messages per
+/// thread are timed.
+pub fn threaded_rate(
+    device: Device,
+    mode: ConnMode,
+    vis_per_peer: usize,
+    threads: usize,
+    msgs: usize,
+    len: usize,
+) -> (f64, u64, f64) {
+    let mut uni = Universe::new(2, device, mode, WaitPolicy::Polling);
+    uni.config_mut().vis_per_peer = vis_per_peer;
+    let report = uni
+        .run(move |mpi| {
+            let peer = 1 - mpi.rank();
+            patterns::threaded_pair_exchange(mpi, peer, threads, 1, len);
+            let t0 = mpi.now();
+            patterns::threaded_pair_exchange(mpi, peer, threads, msgs, len);
+            (threads * msgs) as f64 / mpi.now().since(t0).as_secs_f64() / 1e3
+        })
+        .unwrap();
+    let rate = report.results[0];
+    let switches = report.metrics.get("nic.vi.producer_switches").unwrap_or(0);
+    let convoy_us = report.metrics.get("nic.vi.convoy_ns").unwrap_or(0) as f64 / 1e3;
+    (rate, switches, convoy_us)
+}
+
+/// Fig. 9: message rate vs producer threads T ∈ {1, 2, 4, 8} for a shared
+/// single VI per pair vs `T` endpoint VIs (Zambre-style multi-VI
+/// endpoints), under both connection modes on both devices. The shared VI
+/// serializes producers through one doorbell and pays the device's
+/// lock-convoy charge on every producer switch; striping trades that for
+/// the NIC's per-VI polling overhead, and wins from T = 4 up.
+pub fn fig9() -> (String, Vec<Fig9Point>) {
+    const MSGS: usize = 256;
+    const LEN: usize = 256;
+    let mut items = Vec::new();
+    for device in [Device::Clan, Device::Berkeley] {
+        for (label, mode) in [
+            ("on-demand", ConnMode::OnDemand),
+            ("static-p2p", ConnMode::StaticPeerToPeer),
+        ] {
+            for threads in [1usize, 2, 4, 8] {
+                for (endpoints, vis) in [("shared", 1usize), ("striped", threads)] {
+                    items.push((device, label, mode, threads, endpoints, vis));
+                }
+            }
+        }
+    }
+    let points = runner::timed("fig9_threads", || {
+        runner::par_map(items, |(device, label, mode, threads, endpoints, vis)| {
+            let (rate_kmsgs, producer_switches, convoy_us) =
+                threaded_rate(device, mode, vis, threads, MSGS, LEN);
+            Fig9Point {
+                device: device.name().into(),
+                mode: label.into(),
+                endpoints: endpoints.into(),
+                vis_per_peer: vis,
+                threads,
+                rate_kmsgs,
+                producer_switches,
+                convoy_us,
+            }
+        })
+    });
+    write_json("fig9_threads", &points);
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.device.clone(),
+                p.mode.clone(),
+                p.endpoints.clone(),
+                p.vis_per_peer.to_string(),
+                p.threads.to_string(),
+                fmt(p.rate_kmsgs),
+                p.producer_switches.to_string(),
+                fmt(p.convoy_us),
+            ]
+        })
+        .collect();
+    let text = format!(
+        "Figure 9 — MPI+threads message rate: shared VI vs multi-VI endpoints\n\n{}",
+        table(
+            &[
+                "device",
+                "mode",
+                "endpoints",
+                "VIs",
+                "T",
+                "kmsg/s",
+                "switches",
+                "convoy (µs)"
+            ],
+            &rows
+        )
+    );
+    (text, points)
+}

@@ -127,6 +127,14 @@ struct Scenario {
     /// Engine backend (`None` = session default; the engine-backend axis
     /// pins threads or the state-machine scheduler).
     engine_backend: Option<viampi_sim::Backend>,
+    /// Stripe VIs per peer pair (the endpoints axis; 1 = the paper's
+    /// single-VI channel).
+    vis_per_peer: usize,
+    /// Simulated producer threads. Threads map to peers (`thread = peer %
+    /// threads`), so each pair's traffic stays on one stripe and per-source
+    /// FIFO expectations hold; cross-VI relaxed ordering within a pair is
+    /// fig9's territory.
+    threads: usize,
 }
 
 /// Derive the scenario for `seed` (a pure function of the seed).
@@ -174,6 +182,8 @@ fn derive(seed: u64) -> Scenario {
         par_workers: 1,
         coalesce: true,
         engine_backend: None,
+        vis_per_peer: 1,
+        threads: 1,
     }
 }
 
@@ -183,7 +193,7 @@ fn derive(seed: u64) -> Scenario {
 ///
 /// * tag `0` — **plain seed**: the whole key is the seed fed to `derive`,
 ///   so every pre-campaign corpus seed keeps its exact scenario;
-/// * tags `1..=7` — **mutated**: bits 0–47 hold the 48-bit root seed,
+/// * tags `1..=14` — **mutated**: bits 0–47 hold the 48-bit root seed,
 ///   bits 48–59 a 12-bit variant, and the tag is the [`Axis`] being
 ///   mutated away from the root's derived scenario (one axis per key);
 /// * tag `0xF` — **shrink**: bits 0–47 hold the root, bits 56–59 the
@@ -286,11 +296,15 @@ pub enum Axis {
     /// in backend, so every pair is a live threads-vs-sm replay; half the
     /// pairs also widen np past the thread backend's 64-rank band.
     EngineBackend = 9,
+    /// Multi-VI endpoints: stripe VIs per pair × producer threads. Every
+    /// invariant generalizes per (peer, stripe) — per-VI credit
+    /// conservation, per-pair VI totals, symmetric stripe states.
+    Endpoints = 10,
 }
 
 impl Axis {
     /// Every axis, in tag order.
-    pub const ALL: [Axis; 9] = [
+    pub const ALL: [Axis; 10] = [
         Axis::NpLarge,
         Axis::Storm,
         Axis::RetryEdge,
@@ -300,9 +314,10 @@ impl Axis {
         Axis::DynCredits,
         Axis::ParEngine,
         Axis::EngineBackend,
+        Axis::Endpoints,
     ];
 
-    /// Axis for a key tag in `1..=7`.
+    /// Axis for a key tag in `1..=14`.
     pub fn from_tag(t: u64) -> Option<Axis> {
         Axis::ALL.into_iter().find(|&a| a as u64 == t)
     }
@@ -319,6 +334,7 @@ impl Axis {
             Axis::DynCredits => "dyn-credits",
             Axis::ParEngine => "par-engine",
             Axis::EngineBackend => "engine-backend",
+            Axis::Endpoints => "endpoints",
         }
     }
 
@@ -327,7 +343,7 @@ impl Axis {
     pub fn weight(self) -> u32 {
         match self {
             Axis::NpLarge | Axis::Storm | Axis::RetryEdge => 4,
-            Axis::DataJitter | Axis::ParEngine | Axis::EngineBackend => 2,
+            Axis::DataJitter | Axis::ParEngine | Axis::EngineBackend | Axis::Endpoints => 2,
             Axis::Msgs | Axis::ConnWait | Axis::DynCredits => 1,
         }
     }
@@ -426,6 +442,13 @@ fn apply_axis(mut sc: Scenario, axis: Axis, variant: u32, k: u64) -> Scenario {
                 sc.program = Program::Ring;
                 sc.m = sc.m.min(2);
             }
+        }
+        Axis::Endpoints => {
+            // Stripe count × producer threads, covering T < S (idle
+            // stripes), T == S (one thread per VI) and T > S (threads
+            // sharing stripes, the convoy path).
+            sc.vis_per_peer = [2, 4][variant as usize % 2];
+            sc.threads = [1, 2, 4][(variant as usize / 2) % 3];
         }
     }
     sc
@@ -668,6 +691,16 @@ fn run_program(mpi: &viampi_core::Mpi, sc: &Scenario) -> Vec<RecvRecord> {
     let np = mpi.size();
     let m = sc.m;
     let mut log = Vec::new();
+    // Endpoints axis: pin each peer's traffic to one producer thread, so a
+    // pair's messages all ride one stripe and the per-source FIFO
+    // expectations below stay valid (cross-VI relaxed ordering within a
+    // pair is the fig9 workload's territory, where tags are per-thread).
+    // No-op below the axis: `set_thread` is never called at the defaults.
+    let th = |peer: usize| {
+        if sc.threads > 1 {
+            mpi.set_thread(peer % sc.threads);
+        }
+    };
     match sc.program {
         Program::Ring => {
             let next = (rank + 1) % np;
@@ -675,10 +708,13 @@ fn run_program(mpi: &viampi_core::Mpi, sc: &Scenario) -> Vec<RecvRecord> {
             let mut reqs = Vec::new();
             let mut sends = Vec::new();
             for seq in 0..m {
+                th(prev);
                 reqs.push(mpi.irecv(Some(prev), Some(0)));
+                th(next);
                 sends.push(mpi.isend(&payload(rank, seq, 48), next, 0));
             }
             for seq in 0..m {
+                th(next);
                 sends.push(mpi.isend(&payload(rank, m + seq, 48), next, 1));
             }
             for r in reqs {
@@ -703,9 +739,11 @@ fn run_program(mpi: &viampi_core::Mpi, sc: &Scenario) -> Vec<RecvRecord> {
                 // Directed ack back to every sender (gives the senders a
                 // receive so both pair ends keep progressing).
                 for peer in 1..np {
+                    th(peer);
                     mpi.send(&payload(0, 0, 16), peer, 9);
                 }
             } else {
+                th(0);
                 for seq in 0..m {
                     mpi.send(&payload(rank, seq, 64), 0, 0);
                 }
@@ -718,6 +756,7 @@ fn run_program(mpi: &viampi_core::Mpi, sc: &Scenario) -> Vec<RecvRecord> {
             for k in 1..np {
                 let dst = (rank + k) % np;
                 let src = (rank + np - k) % np;
+                th(dst);
                 let (data, _) =
                     mpi.sendrecv(&payload(rank, k as u32, 7000), dst, 0, Some(src), Some(0));
                 log.push(decode(&data));
@@ -737,6 +776,7 @@ fn run_program(mpi: &viampi_core::Mpi, sc: &Scenario) -> Vec<RecvRecord> {
             for seq in 0..m {
                 for peer in 0..np {
                     if peer != rank {
+                        th(peer);
                         reqs.push(mpi.irecv(Some(peer), Some(0)));
                         sends.push(mpi.isend(&payload(rank, seq, 40), peer, 0));
                     }
@@ -747,6 +787,10 @@ fn run_program(mpi: &viampi_core::Mpi, sc: &Scenario) -> Vec<RecvRecord> {
             }
             mpi.waitall(&sends);
         }
+    }
+    if sc.threads > 1 {
+        // Quiesce (barrier + credit settling) from thread 0 on every rank.
+        mpi.set_thread(0);
     }
     quiesce(mpi, settle_rounds(sc));
     log
@@ -791,13 +835,14 @@ fn check_invariants(sc: &Scenario, report: &RunReport<Vec<RecvRecord>>) -> Vec<S
     // An absent entry means the pair never interacted — identical to an
     // Unconnected channel with empty queues.
     let absent = ChannelSnapshot::absent(usize::MAX);
-    let snap = |i: usize, j: usize| -> &ChannelSnapshot {
+    let snap = |i: usize, j: usize, stripe: usize| -> &ChannelSnapshot {
         report.ranks[i]
             .channels
             .iter()
-            .find(|c| c.peer == j)
+            .find(|c| c.peer == j && c.stripe == stripe)
             .unwrap_or(&absent)
     };
+    let stripes = sc.vis_per_peer;
 
     // 1. Connection state-machine legality: terminal states only, no
     //    leftover queued sends or in-flight descriptors.
@@ -821,9 +866,9 @@ fn check_invariants(sc: &Scenario, report: &RunReport<Vec<RecvRecord>>) -> Vec<S
                     c.peer, c.inflight
                 ));
             }
-            if c.connected_vis_to_peer > 1 {
+            if c.connected_vis_to_peer > stripes {
                 v.push(format!(
-                    "rank {i} -> {}: {} connected VIs for one pair",
+                    "rank {i} -> {}: {} connected VIs for one pair (cap {stripes})",
                     c.peer, c.connected_vis_to_peer
                 ));
             }
@@ -836,45 +881,81 @@ fn check_invariants(sc: &Scenario, report: &RunReport<Vec<RecvRecord>>) -> Vec<S
         }
     }
 
-    // 2. Symmetric connectivity + exactly one VI per connected pair.
+    // 2. Symmetric per-stripe connectivity + exactly one VI per connected
+    //    stripe channel: each side's per-pair VI total must equal the
+    //    number of Connected stripes (at the default single-VI config this
+    //    is the old "exactly one VI per connected pair").
     for i in 0..np {
         for j in (i + 1)..np {
-            let a = snap(i, j);
-            let b = snap(j, i);
-            let ac = a.state == ChanState::Connected;
-            let bc = b.state == ChanState::Connected;
-            if ac != bc {
-                v.push(format!(
-                    "pair ({i},{j}): asymmetric states {:?} vs {:?}",
-                    a.state, b.state
-                ));
+            let mut connected = 0usize;
+            for s in 0..stripes {
+                let a = snap(i, j, s);
+                let b = snap(j, i, s);
+                let ac = a.state == ChanState::Connected;
+                let bc = b.state == ChanState::Connected;
+                if ac != bc {
+                    v.push(format!(
+                        "pair ({i},{j}) stripe {s}: asymmetric states {:?} vs {:?}",
+                        a.state, b.state
+                    ));
+                }
+                if ac && bc {
+                    connected += 1;
+                }
             }
-            if ac && bc && (a.connected_vis_to_peer != 1 || b.connected_vis_to_peer != 1) {
-                v.push(format!(
-                    "pair ({i},{j}): connected pair has {}/{} VIs, want 1/1",
-                    a.connected_vis_to_peer, b.connected_vis_to_peer
-                ));
+            if connected > 0 {
+                let a = snap(i, j, 0);
+                let b = snap(j, i, 0);
+                // Every stripe snapshot of the pair reports the same
+                // per-pair total; stripe 0 always exists once any does
+                // (provisioning is lazy but stripe-independent only for
+                // touched stripes, so fall back to any touched stripe).
+                let av = (0..stripes)
+                    .map(|s| snap(i, j, s))
+                    .find(|c| c.peer != usize::MAX)
+                    .unwrap_or(a)
+                    .connected_vis_to_peer;
+                let bv = (0..stripes)
+                    .map(|s| snap(j, i, s))
+                    .find(|c| c.peer != usize::MAX)
+                    .unwrap_or(b)
+                    .connected_vis_to_peer;
+                if av != connected || bv != connected {
+                    v.push(format!(
+                        "pair ({i},{j}): connected pair has {av}/{bv} VIs, \
+                         want {connected}/{connected}",
+                    ));
+                }
             }
         }
     }
 
     // 3. No credit leak: sender credits + receiver's unreturned consumption
-    //    must equal the receiver's posted pool, in both directions.
+    //    must equal the receiver's posted pool, in both directions — per
+    //    stripe channel, not per pair: each stripe VI carries its own
+    //    credit window under multi-VI endpoints.
     for i in 0..np {
         for j in 0..np {
             if i == j {
                 continue;
             }
-            let tx = snap(i, j);
-            let rx = snap(j, i);
-            if tx.state == ChanState::Connected
-                && rx.state == ChanState::Connected
-                && tx.credits + rx.credits_owed != rx.bufs
-            {
-                v.push(format!(
-                    "credit leak {i} -> {j}: {} held + {} owed != {} bufs",
-                    tx.credits, rx.credits_owed, rx.bufs
-                ));
+            for s in 0..stripes {
+                let tx = snap(i, j, s);
+                let rx = snap(j, i, s);
+                if tx.state == ChanState::Connected
+                    && rx.state == ChanState::Connected
+                    && tx.credits + rx.credits_owed != rx.bufs
+                {
+                    let tail = if stripes > 1 {
+                        format!(" (stripe {s})")
+                    } else {
+                        String::new()
+                    };
+                    v.push(format!(
+                        "credit leak {i} -> {j}: {} held + {} owed != {} bufs{tail}",
+                        tx.credits, rx.credits_owed, rx.bufs
+                    ));
+                }
             }
         }
     }
@@ -954,6 +1035,7 @@ pub fn run_key(k: u64, kind: FaultKind) -> SeedOutcome {
         cfg.par_workers = Some(sc.par_workers);
         cfg.coalesce = Some(sc.coalesce);
         cfg.engine_backend = sc.engine_backend;
+        cfg.vis_per_peer = sc.vis_per_peer;
     }
     let sc2 = sc.clone();
     let report = uni
@@ -993,6 +1075,11 @@ pub fn run_key(k: u64, kind: FaultKind) -> SeedOutcome {
             viampi_sim::Backend::Threads => "|thr",
             viampi_sim::Backend::Sm => "|sm",
         });
+    }
+    // Endpoint-axis scenarios get their own coverage token; default
+    // single-VI single-thread scenarios keep their historical bytes.
+    if sc.vis_per_peer > 1 || sc.threads > 1 {
+        signature.push_str(&format!("|ep{}x{}", sc.vis_per_peer, sc.threads));
     }
     SeedOutcome {
         seed: k,
@@ -1289,6 +1376,19 @@ mod tests {
             assert!((2..=4).contains(&par.par_workers));
         }
         assert!(!derive_key(key::mutated(Axis::ParEngine, 3, root)).coalesce);
+        for variant in 0..6 {
+            let ep = derive_key(key::mutated(Axis::Endpoints, variant, root));
+            assert!([2, 4].contains(&ep.vis_per_peer));
+            assert!([1, 2, 4].contains(&ep.threads));
+        }
+        assert_eq!(
+            derive_key(key::mutated(Axis::Endpoints, 1, root)).vis_per_peer,
+            4
+        );
+        assert_eq!(
+            derive_key(key::mutated(Axis::Endpoints, 4, root)).threads,
+            4
+        );
         // Every mutated key reseeds the schedule: same topology axis,
         // different race.
         assert_ne!(np_large.sched_seed, base.sched_seed);
@@ -1335,6 +1435,26 @@ mod tests {
         let o = run_key(key::mutated(Axis::Storm, 0, 11), FaultKind::Light);
         assert!(o.violations.is_empty(), "{:?}", o.violations);
         assert_eq!(o.program, "storm");
+    }
+
+    #[test]
+    fn an_endpoints_key_passes_invariants_and_replays() {
+        // Variant 5 → 4 VIs per pair with 4 producer threads (threads
+        // share no stripe); variant 2 → 2 VIs, 2 threads. Per-stripe
+        // credit conservation, symmetric stripe states and the per-pair VI
+        // totals must all hold, with and without faults.
+        for (variant, kind) in [(5u32, FaultKind::None), (2, FaultKind::Heavy)] {
+            let k = key::mutated(Axis::Endpoints, variant, 13);
+            let a = run_key(k, kind);
+            assert!(a.violations.is_empty(), "{:?}", a.violations);
+            assert!(a.signature.contains("|ep"), "{}", a.signature);
+            let b = run_key(k, kind);
+            assert_eq!(
+                crate::json::to_string_pretty(&a),
+                crate::json::to_string_pretty(&b),
+                "endpoints key {k} must replay"
+            );
+        }
     }
 
     #[test]

@@ -724,3 +724,118 @@ fn outcome_matches_with_fast_path_disabled_if_env_set() {
         "sanity: the run did real work"
     );
 }
+
+// ---------------------------------------------------------------------------
+// Multi-VI endpoints: stripe channels and the MPI+threads producer model.
+// ---------------------------------------------------------------------------
+
+/// A threads-per-rank pair exchange with `vis_per_peer` stripe VIs per
+/// pair, on BVIA (whose per-VI polling + lock-convoy charges make the
+/// endpoint model observable in virtual time). Engine backend optionally
+/// pinned — overrides beat the environment, so these tests are race-free
+/// under any harness parallelism.
+fn multivi_run(
+    vis_per_peer: usize,
+    threads: usize,
+    backend: Option<Backend>,
+) -> RunReport<Option<f64>> {
+    let mut uni = Universe::new(2, Device::Berkeley, ConnMode::OnDemand, WaitPolicy::Polling);
+    uni.config_mut().vis_per_peer = vis_per_peer;
+    uni.config_mut().engine_backend = backend;
+    uni.run(move |mpi| {
+        let peer = 1 - mpi.rank();
+        viampi_npb::patterns::threaded_pair_exchange(mpi, peer, threads, 24, 256);
+        Some(mpi.now().as_secs_f64())
+    })
+    .unwrap()
+}
+
+#[test]
+fn multivi_exchange_is_bit_identical_across_repeats() {
+    for (vis, threads) in [(1usize, 4usize), (4, 4)] {
+        let a = multivi_run(vis, threads, None);
+        let b = multivi_run(vis, threads, None);
+        assert_eq!(
+            fingerprint(&a),
+            fingerprint(&b),
+            "repeat multi-VI run (S={vis}, T={threads}) must be bit-identical"
+        );
+        assert_eq!(
+            a.metrics.render(),
+            b.metrics.render(),
+            "multi-VI metrics (S={vis}, T={threads}) must replay bit-identically"
+        );
+    }
+}
+
+#[test]
+fn multivi_exchange_matches_across_backends() {
+    // The endpoint model is engine-independent: threads and sm must agree
+    // bit-for-bit at both the default and a striped configuration.
+    for (vis, threads) in [(1usize, 4usize), (4, 4)] {
+        assert_eq!(
+            fingerprint(&multivi_run(vis, threads, Some(Backend::Threads))),
+            fingerprint(&multivi_run(vis, threads, Some(Backend::Sm))),
+            "multi-VI run (S={vis}, T={threads}) must not depend on the backend"
+        );
+    }
+}
+
+#[test]
+fn multivi_fig9_json_is_identical_under_jobs_1_and_n() {
+    // The full fig9 grid at --jobs 1 and --jobs 4 must serialize to the
+    // same bytes (and, since it regenerates the committed record in
+    // place, to the committed bytes — the figure-identity CI job diffs).
+    runner::set_jobs(1);
+    let (_, serial) = viampi_bench::experiments::fig9();
+    runner::set_jobs(4);
+    let (_, parallel) = viampi_bench::experiments::fig9();
+    runner::set_jobs(0);
+    assert_eq!(
+        to_string_pretty(&serial),
+        to_string_pretty(&parallel),
+        "fig9 JSON must not depend on the worker count"
+    );
+}
+
+#[test]
+fn multivi_endpoint_counter_names_are_pinned() {
+    // The endpoint/convoy observability counters are part of the metrics
+    // interface: dotted names must not drift, and a striped multi-producer
+    // run must actually exercise stripe setup, striped sends and the
+    // shared-VI convoy accounting.
+    let r = multivi_run(4, 4, None);
+    let rendered = r.metrics.render();
+    for name in [
+        "mpi.endpoint.stripe_setups",
+        "mpi.endpoint.striped_sends",
+        "mpi.endpoint.vis_per_peer",
+        "mpi.endpoint.threads_max",
+        "nic.vi.producer_switches",
+        "nic.vi.convoy_ns",
+        "nic.vi.multi_producer_vis",
+    ] {
+        assert!(
+            rendered.contains(name),
+            "snapshot is missing {name}:\n{rendered}"
+        );
+    }
+    assert!(
+        r.metrics.get("mpi.endpoint.stripe_setups").unwrap() > 0,
+        "striped run must provision non-zero stripes"
+    );
+    assert!(
+        r.metrics.get("mpi.endpoint.striped_sends").unwrap() > 0,
+        "striped run must send on non-zero stripes"
+    );
+    assert_eq!(r.metrics.get("mpi.endpoint.vis_per_peer"), Some(4));
+    // A shared-VI multi-producer run pays convoys; the default does not.
+    let shared = multivi_run(1, 4, None);
+    assert!(
+        shared.metrics.get("nic.vi.producer_switches").unwrap() > 0,
+        "shared-VI multi-producer run must count producer switches"
+    );
+    let default = multivi_run(1, 1, None);
+    assert_eq!(default.metrics.get("nic.vi.producer_switches"), Some(0));
+    assert_eq!(default.metrics.get("mpi.endpoint.striped_sends"), Some(0));
+}

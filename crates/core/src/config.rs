@@ -166,6 +166,15 @@ pub struct MpiConfig {
     /// `VIAMPI_ENGINE` (default `threads`). Results are bit-identical
     /// either way.
     pub engine_backend: Option<viampi_sim::Backend>,
+    /// VIs (endpoints) per peer pair — the Zambre et al. endpoint model.
+    /// Each pair holds this many independent stripe channels, each with its
+    /// own VI, credits and send FIFO; a rank's sends pick the stripe
+    /// `thread % vis_per_peer` (see [`crate::Mpi::set_thread`]), so per-VI
+    /// FIFO is preserved while cross-VI ordering is relaxed. On-demand
+    /// brings stripes up lazily on first use; the static modes must wire
+    /// all of them in `MPI_Init`. Default 1 reproduces the paper's
+    /// one-VI-per-pair protocol exactly.
+    pub vis_per_peer: usize,
 }
 
 impl MpiConfig {
@@ -194,6 +203,7 @@ impl MpiConfig {
             par_workers: None,
             coalesce: None,
             engine_backend: None,
+            vis_per_peer: 1,
         }
     }
 
@@ -216,6 +226,10 @@ impl MpiConfig {
             self.buf_size = need.next_power_of_two();
         }
         assert!(self.num_bufs >= 2, "need at least 2 credits for progress");
+        assert!(
+            (1..=16).contains(&self.vis_per_peer),
+            "vis_per_peer must be in 1..=16"
+        );
         self
     }
 }

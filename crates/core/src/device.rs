@@ -5,6 +5,10 @@
 //! * per-peer **channels**, each owning one VI, a pre-posted eager receive
 //!   pool, a send staging pool, a credit counter, and the **pre-posted send
 //!   FIFO** that holds sends issued before the connection exists (§3.4);
+//!   with `vis_per_peer > 1` a pair holds several independent *stripe*
+//!   channels (the Zambre et al. endpoint model): sends pick the stripe
+//!   `thread % vis_per_peer`, per-VI FIFO is preserved per stripe, and
+//!   cross-stripe ordering is relaxed;
 //! * the **eager** protocol (≤ threshold, staged copies, credits) and the
 //!   **rendezvous** protocol (RTS → CTS → RDMA write → FIN, zero-copy);
 //! * the polling **progress engine** `device_check`, the analogue of
@@ -44,11 +48,15 @@ pub mod mpi_metrics {
             CREDIT_GROWTHS => "mpi.credit_growths": "Dynamic-flow-control pool growths",
             CONN_RETRIES => "mpi.conn_retries": "Connection retransmissions issued (fault injection)",
             CONN_FAILURES => "mpi.conn_failures": "Channels failed after exhausting the retry budget",
+            ENDPOINT_STRIPE_SETUPS => "mpi.endpoint.stripe_setups": "Non-zero stripe channels provisioned (multi-VI endpoints)",
+            ENDPOINT_STRIPED_SENDS => "mpi.endpoint.striped_sends": "Wire messages sent on a non-zero stripe (multi-VI endpoints)",
         }
         gauges {
             INIT_TIME_NS => "mpi.init_time_ns": "Virtual time spent inside MPI_Init, in nanoseconds",
             CONNS_AT_INIT => "mpi.conns_at_init": "Connections established during MPI_Init",
             CONN_RETRY_DEPTH_MAX => "mpi.conn_retry_depth_max": "Deepest retry attempt reached on any one channel (fault injection)",
+            ENDPOINT_VIS_PER_PEER => "mpi.endpoint.vis_per_peer": "Configured VIs (stripe channels) per peer pair",
+            ENDPOINT_THREADS_MAX => "mpi.endpoint.threads_max": "Highest producer-thread index observed, plus one",
         }
         hists {
             EAGER_BYTES => "mpi.eager_bytes": "Payload size distribution of eager sends",
@@ -90,12 +98,20 @@ enum SlotUse {
 struct OutMsg {
     header: Header,
     frame: Bytes,
+    /// Producer thread that issued the message — stamped at post time, so
+    /// a send that stalls in the FIFO still charges the NIC's lock-convoy
+    /// model against the thread that posted it, not whichever thread later
+    /// happens to drive the drain.
+    producer: u32,
 }
 
-/// Per-peer channel.
+/// Per-peer channel (one *stripe* of a pair when `vis_per_peer > 1`).
 pub struct Channel {
     /// Peer rank.
     pub peer: usize,
+    /// Stripe index within the pair, `0..vis_per_peer`. Always 0 at the
+    /// default configuration (one VI per pair, as in the paper).
+    pub stripe: usize,
     /// FSM state.
     pub state: ChanState,
     /// The VI, once created.
@@ -132,35 +148,41 @@ pub struct Channel {
     conn_begin: SimTime,
 }
 
-/// Sparse per-peer channel table. A channel materializes on first *mutable*
-/// access (`&mut table[peer]`), so a rank's footprint is O(channels it
-/// actually touched) instead of O(world size) — the property that lets
-/// np=4096 on-demand worlds fit in memory. Immutable indexing of a
-/// never-touched peer yields a shared default `Unconnected` view, and
-/// iteration visits materialized channels in ascending peer order — exactly
-/// the order the old dense table walked them, with the untouched no-op
-/// entries (empty queues, `Unconnected` state) skipped.
+/// Sparse channel table, keyed by **slot** `peer * vis_per_peer + stripe`
+/// (with the default `vis_per_peer = 1` a slot *is* the peer rank, so keys,
+/// iteration order and behaviour are exactly the old per-peer table). A
+/// channel materializes on first *mutable* access (`&mut table[slot]`), so a
+/// rank's footprint is O(channels it actually touched) instead of O(world
+/// size) — the property that lets np=4096 on-demand worlds fit in memory.
+/// Immutable indexing of a never-touched slot yields a shared default
+/// `Unconnected` view, and iteration visits materialized channels in
+/// ascending slot order — exactly the order the old dense table walked
+/// them, with the untouched no-op entries (empty queues, `Unconnected`
+/// state) skipped.
 pub struct ChannelTable {
     map: BTreeMap<usize, Channel>,
-    /// Read-only stand-in for never-touched peers. Its `peer` field is a
+    /// Stripes per peer pair (`cfg.vis_per_peer`), for slot decoding.
+    stripes: usize,
+    /// Read-only stand-in for never-touched slots. Its `peer` field is a
     /// sentinel and never read: every consumer carries the index separately.
     empty: Channel,
 }
 
 impl ChannelTable {
-    fn new() -> Self {
+    fn new(stripes: usize) -> Self {
         ChannelTable {
             map: BTreeMap::new(),
-            empty: Channel::new(usize::MAX),
+            stripes,
+            empty: Channel::new(usize::MAX, 0),
         }
     }
 
-    /// Materialized channels, ascending by peer.
+    /// Materialized channels, ascending by slot.
     pub fn iter(&self) -> impl Iterator<Item = &Channel> {
         self.map.values()
     }
 
-    /// `(peer, channel)` pairs over materialized channels, ascending.
+    /// `(slot, channel)` pairs over materialized channels, ascending.
     pub fn iter_entries(&self) -> impl Iterator<Item = (usize, &Channel)> {
         self.map.iter().map(|(&p, c)| (p, c))
     }
@@ -173,21 +195,25 @@ impl ChannelTable {
 
 impl std::ops::Index<usize> for ChannelTable {
     type Output = Channel;
-    fn index(&self, peer: usize) -> &Channel {
-        self.map.get(&peer).unwrap_or(&self.empty)
+    fn index(&self, slot: usize) -> &Channel {
+        self.map.get(&slot).unwrap_or(&self.empty)
     }
 }
 
 impl std::ops::IndexMut<usize> for ChannelTable {
-    fn index_mut(&mut self, peer: usize) -> &mut Channel {
-        self.map.entry(peer).or_insert_with(|| Channel::new(peer))
+    fn index_mut(&mut self, slot: usize) -> &mut Channel {
+        let stripes = self.stripes;
+        self.map
+            .entry(slot)
+            .or_insert_with(|| Channel::new(slot / stripes, slot % stripes))
     }
 }
 
 impl Channel {
-    fn new(peer: usize) -> Self {
+    fn new(peer: usize, stripe: usize) -> Self {
         Channel {
             peer,
+            stripe,
             state: ChanState::Unconnected,
             vi: None,
             recv_regions: Vec::new(),
@@ -291,15 +317,19 @@ pub struct Device {
     pub cfg: MpiConfig,
     /// VIA provider handle.
     pub port: ViaPort,
-    /// Per-peer channels, materialized lazily on first touch
-    /// (`channels[rank]` is never used). Never-touched peers read as
-    /// `Unconnected`, so rank memory is O(used channels), not O(np).
+    /// Per-slot channels (`slot = peer * vis_per_peer + stripe`),
+    /// materialized lazily on first touch (`channels[rank]` is never used).
+    /// Never-touched slots read as `Unconnected`, so rank memory is
+    /// O(used channels), not O(np).
     pub channels: ChannelTable,
     /// Matching queues.
     pub matcher: MatchEngine,
     reqs: HashMap<u64, ReqState>,
     next_req: u64,
-    vi_to_peer: HashMap<u32, usize>,
+    vi_to_slot: HashMap<u32, usize>,
+    /// Calling producer-thread index (see [`Device::set_thread`]); selects
+    /// the stripe `cur_thread % vis_per_peer` for outgoing wire traffic.
+    cur_thread: usize,
     /// Next virtual time at which modelled OS noise preempts this rank.
     next_noise_at: viampi_sim::SimTime,
     /// Latest connection-retry deadline a timer event has been scheduled
@@ -327,21 +357,35 @@ fn pair_disc(a: usize, b: usize) -> Discriminator {
     Discriminator(((lo as u64) << 32) | hi as u64)
 }
 
+/// Discriminator for one stripe of a pair: the classic pair discriminator
+/// with the stripe index in bits 48+. Stripe 0 reproduces [`pair_disc`]
+/// bit-for-bit, so single-VI runs are wire-identical with older revisions.
+fn pair_disc_stripe(a: usize, b: usize, stripe: usize) -> Discriminator {
+    Discriminator(pair_disc(a, b).0 | ((stripe as u64) << 48))
+}
+
+/// Recover the stripe index a peer encoded in its connect discriminator.
+fn disc_stripe(d: Discriminator) -> usize {
+    (d.0 >> 48) as usize
+}
+
 impl Device {
     /// Build the device; does **not** perform `MPI_Init` connection setup
     /// (see [`Device::init`]).
     pub fn new(port: ViaPort, rank: usize, size: usize, cfg: MpiConfig) -> Self {
         let pool = port.pool();
+        let stripes = cfg.vis_per_peer.max(1);
         Device {
             rank,
             size,
             cfg,
             port,
-            channels: ChannelTable::new(),
+            channels: ChannelTable::new(stripes),
             matcher: MatchEngine::new(),
             reqs: HashMap::new(),
             next_req: 1,
-            vi_to_peer: HashMap::new(),
+            vi_to_slot: HashMap::new(),
+            cur_thread: 0,
             next_noise_at: viampi_sim::SimTime::ZERO,
             armed_conn_timer: None,
             trace: Vec::new(),
@@ -349,6 +393,34 @@ impl Device {
             metrics: mpi_metrics::registry(),
             pool,
         }
+    }
+
+    /// Stripes (VIs) per peer pair.
+    #[inline]
+    fn nstripes(&self) -> usize {
+        self.cfg.vis_per_peer.max(1)
+    }
+
+    /// The stripe the calling producer thread sends on.
+    #[inline]
+    fn send_stripe(&self) -> usize {
+        self.cur_thread % self.nstripes()
+    }
+
+    /// Channel-table slot for `(peer, stripe)`.
+    #[inline]
+    fn slot_of(&self, peer: usize, stripe: usize) -> usize {
+        peer * self.nstripes() + stripe
+    }
+
+    /// Declare which simulated producer thread is issuing the following MPI
+    /// calls. Thread `t` sends on stripe `t % vis_per_peer`, which is how
+    /// the Zambre endpoint model maps threads onto per-pair VI sets. The
+    /// default thread 0 on the default single-VI configuration is a no-op.
+    pub fn set_thread(&mut self, t: usize) {
+        self.cur_thread = t;
+        self.metrics
+            .gauge_max(mpi_metrics::ENDPOINT_THREADS_MAX, (t + 1) as u64);
     }
 
     /// The MPI-level counters as the classic [`MpiStats`] view.
@@ -418,6 +490,8 @@ impl Device {
     /// setup according to the configured [`ConnMode`].
     pub fn init(&mut self) {
         let t0 = self.port.ctx().now();
+        self.metrics
+            .gauge_set(mpi_metrics::ENDPOINT_VIS_PER_PEER, self.nstripes() as u64);
         self.bootstrap_exchange();
         match self.cfg.conn {
             ConnMode::OnDemand => {} // the whole point: no connections here
@@ -486,7 +560,9 @@ impl Device {
     fn init_static_p2p(&mut self) {
         for peer in 0..self.size {
             if peer != self.rank {
-                self.setup_channel(peer);
+                for stripe in 0..self.nstripes() {
+                    self.setup_channel(peer, stripe);
+                }
             }
         }
         while self
@@ -499,14 +575,11 @@ impl Device {
                 self.conn_idle_wait(stamp);
             }
         }
-        if let Some((peer, _)) = self
-            .channels
-            .iter_entries()
-            .find(|(_, c)| c.state == ChanState::Failed)
-        {
+        if let Some(c) = self.channels.iter().find(|c| c.state == ChanState::Failed) {
             panic!(
-                "static peer-to-peer init: connection to rank {peer} failed \
-                 after exhausting the retry budget"
+                "static peer-to-peer init: connection to rank {} failed \
+                 after exhausting the retry budget",
+                c.peer
             );
         }
     }
@@ -524,40 +597,49 @@ impl Device {
         // global serialization is enforced by the blocking `connect_wait`
         // handshakes, not by walking the whole O(N²) list on every rank.
         for server in 0..self.rank {
-            let vi = self
-                .provision_channel(server)
-                .unwrap_or_else(|e| panic!("provision channel to rank {server}: {e}"));
-            self.port
-                .connect_request(vi, server, pair_disc(server, self.rank))
-                .expect("issue client request");
-            let st = self.port.connect_wait(vi).expect("valid VI");
-            assert_eq!(st, ViState::Connected);
-            self.finish_connect(server);
+            // With multi-VI endpoints every stripe of the pair is brought up
+            // in stripe order, each fully serialized like the pair itself.
+            for stripe in 0..self.nstripes() {
+                let vi = self
+                    .provision_channel(server, stripe)
+                    .unwrap_or_else(|e| panic!("provision channel to rank {server}: {e}"));
+                self.port
+                    .connect_request(vi, server, pair_disc_stripe(server, self.rank, stripe))
+                    .expect("issue client request");
+                let st = self.port.connect_wait(vi).expect("valid VI");
+                assert_eq!(st, ViState::Connected);
+                self.finish_connect(self.slot_of(server, stripe));
+            }
         }
         for client in (self.rank + 1)..self.size {
             // Server: wait for the client's request, accept on a fresh VI.
-            let req = loop {
-                let stamp = self.port.activity_stamp();
-                if let Some(r) = self
-                    .port
-                    .cs_requests()
-                    .iter()
-                    .find(|r| r.from == client)
-                    .copied()
-                {
-                    break r;
-                }
-                self.port.wait_activity(stamp);
-            };
-            let vi = self
-                .provision_channel(client)
-                .unwrap_or_else(|e| panic!("provision channel to rank {client}: {e}"));
-            self.port
-                .accept_cs(req.id, vi)
-                .expect("accept pending request");
-            let st = self.port.connect_wait(vi).expect("valid VI");
-            assert_eq!(st, ViState::Connected);
-            self.finish_connect(client);
+            // The client issues its stripe requests strictly in order (each
+            // blocks on connect_wait), so matching the next request from
+            // that client per stripe preserves the stripe pairing.
+            for stripe in 0..self.nstripes() {
+                let req = loop {
+                    let stamp = self.port.activity_stamp();
+                    if let Some(r) = self
+                        .port
+                        .cs_requests()
+                        .iter()
+                        .find(|r| r.from == client)
+                        .copied()
+                    {
+                        break r;
+                    }
+                    self.port.wait_activity(stamp);
+                };
+                let vi = self
+                    .provision_channel(client, stripe)
+                    .unwrap_or_else(|e| panic!("provision channel to rank {client}: {e}"));
+                self.port
+                    .accept_cs(req.id, vi)
+                    .expect("accept pending request");
+                let st = self.port.connect_wait(vi).expect("valid VI");
+                assert_eq!(st, ViState::Connected);
+                self.finish_connect(self.slot_of(client, stripe));
+            }
         }
     }
 
@@ -574,8 +656,9 @@ impl Device {
     /// would be dropped). Transient VI-creation failures (fault injection)
     /// are retried up to the configured budget; only an exhausted budget
     /// surfaces as an error.
-    fn provision_channel(&mut self, peer: usize) -> Result<ViId, ViaError> {
-        debug_assert_eq!(self.channels[peer].state, ChanState::Unconnected);
+    fn provision_channel(&mut self, peer: usize, stripe: usize) -> Result<ViId, ViaError> {
+        let slot = self.slot_of(peer, stripe);
+        debug_assert_eq!(self.channels[slot].state, ChanState::Unconnected);
         // Under dynamic flow control (the paper's future-work extension)
         // each side starts with a small chunk and grows under pressure;
         // both sides compute the same initial size so credits agree.
@@ -611,7 +694,7 @@ impl Device {
                 .expect("pre-post eager buffer");
             recv_slots.push_back(slot);
         }
-        let ch = &mut self.channels[peer];
+        let ch = &mut self.channels[slot];
         ch.vi = Some(vi);
         ch.recv_regions = vec![recv_mem];
         ch.send_regions = vec![send_mem];
@@ -623,28 +706,31 @@ impl Device {
         ch.state = ChanState::Connecting;
         ch.conn_attempts = 0;
         if self.cfg.trace {
-            self.channels[peer].conn_begin = self.port.ctx().now();
+            self.channels[slot].conn_begin = self.port.ctx().now();
         }
-        self.vi_to_peer.insert(vi.0, peer);
+        if stripe > 0 {
+            self.metrics.inc(mpi_metrics::ENDPOINT_STRIPE_SETUPS);
+        }
+        self.vi_to_slot.insert(vi.0, slot);
         Ok(vi)
     }
 
-    /// Dynamic flow control: grow `peer`'s receive pool by one chunk and
+    /// Dynamic flow control: grow a channel's receive pool by one chunk and
     /// grant the new buffers to the sender through the credit-return path.
-    fn grow_recv_pool(&mut self, peer: usize) {
+    fn grow_recv_pool(&mut self, slot: usize) {
         let bsz = self.cfg.buf_size;
         let (chunk, vi) = {
-            let ch = &self.channels[peer];
+            let ch = &self.channels[slot];
             (ch.chunk, ch.vi.unwrap())
         };
         let mem = self.port.register(chunk * bsz).expect("pin grown pool");
-        let base = self.channels[peer].recv_regions.len() * chunk;
+        let base = self.channels[slot].recv_regions.len() * chunk;
         for i in 0..chunk {
             self.port
                 .post_recv(vi, mem, i * bsz, bsz)
                 .expect("post grown buffer");
         }
-        let ch = &mut self.channels[peer];
+        let ch = &mut self.channels[slot];
         ch.recv_regions.push(mem);
         for i in 0..chunk {
             ch.recv_slots.push_back(base + i);
@@ -654,17 +740,18 @@ impl Device {
         ch.credits_owed += chunk;
         ch.recvs_since_grow = 0;
         let bufs = ch.bufs;
+        let peer = ch.peer;
         self.metrics.inc(mpi_metrics::CREDIT_GROWTHS);
         self.trace(crate::trace::TraceKind::PoolGrown { peer, bufs });
     }
 
     /// Dynamic flow control, sender side: the peer granted more credits
     /// than we have staging slots; grow the staging pool to use them.
-    fn grow_send_pool(&mut self, peer: usize) {
+    fn grow_send_pool(&mut self, slot: usize) {
         let bsz = self.cfg.buf_size;
-        let chunk = self.channels[peer].chunk;
+        let chunk = self.channels[slot].chunk;
         let mem = self.port.register(chunk * bsz).expect("pin grown staging");
-        let ch = &mut self.channels[peer];
+        let ch = &mut self.channels[slot];
         let base = ch.send_regions.len() * chunk;
         ch.send_regions.push(mem);
         for i in (0..chunk).rev() {
@@ -673,37 +760,40 @@ impl Device {
     }
 
     /// Provision + issue a peer-to-peer connect (the on-demand path of §4,
-    /// also used for static peer-to-peer init).
-    pub fn setup_channel(&mut self, peer: usize) {
-        if self.channels[peer].state != ChanState::Unconnected {
+    /// also used for static peer-to-peer init). One stripe of the pair.
+    pub fn setup_channel(&mut self, peer: usize, stripe: usize) {
+        let slot = self.slot_of(peer, stripe);
+        if self.channels[slot].state != ChanState::Unconnected {
             return;
         }
-        let vi = match self.provision_channel(peer) {
+        let vi = match self.provision_channel(peer, stripe) {
             Ok(vi) => vi,
             Err(_) => {
                 // VI creation failed past the transient-retry budget.
-                self.fail_channel(peer);
+                self.fail_channel(slot);
                 return;
             }
         };
         self.port
-            .connect_peer(vi, peer, pair_disc(self.rank, peer))
+            .connect_peer(vi, peer, pair_disc_stripe(self.rank, peer, stripe))
             .expect("issue peer connect");
         if self.retries_enabled() {
             let timeout = SimDuration::micros(self.cfg.conn_retry_timeout_us);
-            self.channels[peer].conn_deadline = self.port.ctx().now() + timeout;
+            self.channels[slot].conn_deadline = self.port.ctx().now() + timeout;
         }
         self.trace(crate::trace::TraceKind::ConnIssued { peer });
     }
 
-    /// Give up on the connection to `peer`: drop its queued sends and fail
-    /// every live request bound to it (the clean error path a deliberately
-    /// exhausted retry budget must take instead of hanging `finalize`).
-    fn fail_channel(&mut self, peer: usize) {
-        let attempts = self.channels[peer].conn_attempts;
+    /// Give up on the connection behind `slot`: drop its queued sends and
+    /// fail every live request bound to its peer (the clean error path a
+    /// deliberately exhausted retry budget must take instead of hanging
+    /// `finalize`).
+    fn fail_channel(&mut self, slot: usize) {
+        let peer = self.channels[slot].peer;
+        let attempts = self.channels[slot].conn_attempts;
         self.metrics.inc(mpi_metrics::CONN_FAILURES);
         self.trace(crate::trace::TraceKind::ConnFailed { peer, attempts });
-        let ch = &mut self.channels[peer];
+        let ch = &mut self.channels[slot];
         ch.state = ChanState::Failed;
         ch.outq.clear();
         for r in self.reqs.values_mut() {
@@ -714,19 +804,20 @@ impl Device {
         }
     }
 
-    /// Mark `peer` connected and drain its pre-posted send FIFO in order.
-    fn finish_connect(&mut self, peer: usize) {
-        self.channels[peer].state = ChanState::Connected;
-        let deferred = self.channels[peer].outq.len();
+    /// Mark `slot` connected and drain its pre-posted send FIFO in order.
+    fn finish_connect(&mut self, slot: usize) {
+        self.channels[slot].state = ChanState::Connected;
+        let peer = self.channels[slot].peer;
+        let deferred = self.channels[slot].outq.len();
         self.trace(crate::trace::TraceKind::ConnEstablished { peer, deferred });
         if self.cfg.trace {
             self.spans.push(Span {
-                begin: self.channels[peer].conn_begin,
+                begin: self.channels[slot].conn_begin,
                 end: self.port.ctx().now(),
                 kind: SpanKind::ConnSetup { peer },
             });
         }
-        self.try_drain(peer);
+        self.try_drain(slot);
     }
 
     // =====================================================================
@@ -800,7 +891,7 @@ impl Device {
                 len: 0,
             };
             let frame = self.pool.alloc(HEADER_LEN);
-            self.enqueue_wire(dst, header, frame);
+            self.enqueue_wire(dst, self.send_stripe(), header, frame);
         } else {
             self.metrics.inc(mpi_metrics::EAGER_SENT);
             self.metrics
@@ -819,7 +910,7 @@ impl Device {
             // frame (header placeholder + payload). Everything downstream
             // hands this frame around by reference.
             let frame = self.pool.prefixed(HEADER_LEN, data);
-            self.enqueue_wire(dst, header, frame);
+            self.enqueue_wire(dst, self.send_stripe(), header, frame);
             if mode == SendMode::Buffered {
                 // Buffered sends are local: payload captured, complete now.
                 let r = self.reqs.get_mut(&req).unwrap();
@@ -836,23 +927,28 @@ impl Device {
         self.metrics.inc(mpi_metrics::RECVS);
         let req = self.alloc_req(src.unwrap_or(usize::MAX));
         if self.cfg.conn == ConnMode::OnDemand {
+            // Pre-connect on the calling thread's stripe: the stripe a
+            // symmetric peer thread will send on (§3.5 for ANY_SOURCE).
+            let stripe = self.send_stripe();
             match src {
                 Some(s) => {
                     if s != self.rank {
-                        self.setup_channel(s);
+                        self.setup_channel(s, stripe);
                     }
                 }
                 None => {
                     for peer in 0..self.size {
                         if peer != self.rank {
-                            self.setup_channel(peer);
+                            self.setup_channel(peer, stripe);
                         }
                     }
                 }
             }
         }
         if let Some(s) = src {
-            if s != self.rank && self.channels[s].state == ChanState::Failed {
+            if s != self.rank
+                && self.channels[self.slot_of(s, self.send_stripe())].state == ChanState::Failed
+            {
                 // A receive directed at an unreachable peer can never be
                 // satisfied; fail it now rather than leaving a dangling
                 // posted entry in the matcher.
@@ -891,15 +987,27 @@ impl Device {
                 r.data = Some(payload);
                 r.done = true;
             }
-            UnexpectedBody::Rts { sreq, len } => {
-                self.begin_rendezvous_recv(req, u.src as usize, u.tag, sreq, len);
+            UnexpectedBody::Rts { sreq, len, stripe } => {
+                self.begin_rendezvous_recv(req, u.src as usize, u.tag, sreq, len, stripe);
             }
         }
     }
 
     /// Receiver side of the rendezvous: register a landing region and send
-    /// the CTS advertising it.
-    fn begin_rendezvous_recv(&mut self, rreq: u64, src: usize, tag: i32, sreq: u64, len: usize) {
+    /// the CTS advertising it. `stripe` is the stripe the RTS arrived on —
+    /// the CTS must return on that same stripe, because the sender has
+    /// already drained a send through that VI (so it is Connected on the
+    /// sender's side), while the sender's half of any *other* stripe may
+    /// still be mid-handshake under connection faults.
+    fn begin_rendezvous_recv(
+        &mut self,
+        rreq: u64,
+        src: usize,
+        tag: i32,
+        sreq: u64,
+        len: usize,
+        stripe: usize,
+    ) {
         let mem = self.port.register(len.max(1)).expect("pin rendezvous buf");
         {
             let r = self.reqs.get_mut(&rreq).unwrap();
@@ -922,24 +1030,26 @@ impl Device {
             len: 0,
         };
         let frame = self.pool.alloc(HEADER_LEN);
-        self.enqueue_wire(src, header, frame);
+        self.enqueue_wire(src, stripe, header, frame);
     }
 
     // =====================================================================
     // Outgoing wire queue (pre-posted send FIFO + credit/slot stalls)
     // =====================================================================
 
-    /// Queue a wire message for `peer` and try to drain. `frame` is the
-    /// full pooled wire buffer: `HEADER_LEN` placeholder bytes + payload.
-    fn enqueue_wire(&mut self, peer: usize, header: Header, frame: Bytes) {
-        if self.channels[peer].state == ChanState::Unconnected {
+    /// Queue a wire message for `peer` on `stripe` and try to drain.
+    /// `frame` is the full pooled wire buffer: `HEADER_LEN` placeholder
+    /// bytes + payload.
+    fn enqueue_wire(&mut self, peer: usize, stripe: usize, header: Header, frame: Bytes) {
+        let slot = self.slot_of(peer, stripe);
+        if self.channels[slot].state == ChanState::Unconnected {
             if self.cfg.conn == ConnMode::OnDemand {
-                self.setup_channel(peer);
+                self.setup_channel(peer, stripe);
             } else {
                 panic!("static connection mode but channel to {peer} unconnected");
             }
         }
-        if self.channels[peer].state == ChanState::Failed {
+        if self.channels[slot].state == ChanState::Failed {
             // Peer unreachable: fail the owning request instead of queueing
             // (a queued message would wedge `finalize`). Only Eager/Rts can
             // target a never-connected channel, and for those `aux1` is the
@@ -952,24 +1062,31 @@ impl Device {
             }
             return;
         }
-        if self.channels[peer].state != ChanState::Connected {
+        if self.channels[slot].state != ChanState::Connected {
             self.metrics.inc(mpi_metrics::FIFO_DEFERRED_SENDS);
         }
-        self.channels[peer].outq.push_back(OutMsg { header, frame });
-        self.try_drain(peer);
+        let producer = self.cur_thread as u32;
+        self.channels[slot].outq.push_back(OutMsg {
+            header,
+            frame,
+            producer,
+        });
+        self.try_drain(slot);
     }
 
     /// Push queued messages into the VI while the connection is up and
-    /// credits + staging slots allow. Preserves FIFO order (§3.4).
-    fn try_drain(&mut self, peer: usize) {
-        if self.channels[peer].state != ChanState::Connected {
+    /// credits + staging slots allow. Preserves FIFO order (§3.4) per
+    /// stripe channel.
+    fn try_drain(&mut self, slot: usize) {
+        if self.channels[slot].state != ChanState::Connected {
             return;
         }
         loop {
-            let ch = &self.channels[peer];
+            let ch = &self.channels[slot];
             let Some(_head) = ch.outq.front() else { break };
             // Reserve the last credit for explicit credit returns.
             if ch.credits < 2 {
+                let peer = ch.peer;
                 self.trace(crate::trace::TraceKind::CreditStall { peer });
                 break;
             }
@@ -978,27 +1095,28 @@ impl Device {
                 // credits than we have staging; grow to match.
                 let cap = ch.send_regions.len() * ch.chunk;
                 if self.cfg.dynamic_credits && ch.credits > cap.saturating_sub(cap_in_use(ch)) {
-                    self.grow_send_pool(peer);
+                    self.grow_send_pool(slot);
                     continue;
                 }
                 break;
             }
-            let msg = self.channels[peer].outq.pop_front().unwrap();
-            self.send_wire(peer, msg.header, msg.frame);
+            let msg = self.channels[slot].outq.pop_front().unwrap();
+            self.send_wire(slot, msg.header, msg.frame, msg.producer);
         }
     }
 
-    /// Transmit one wire message on `peer`'s VI, consuming a credit and a
-    /// staging slot, and piggybacking owed credit returns.
-    fn send_wire(&mut self, peer: usize, mut header: Header, mut frame: Bytes) {
-        let (vi, slot, piggy) = {
-            let ch = &mut self.channels[peer];
+    /// Transmit one wire message on the channel behind `slot`, consuming a
+    /// credit and a staging slot, and piggybacking owed credit returns.
+    /// `producer` is the thread that posted the message (see [`OutMsg`]).
+    fn send_wire(&mut self, slot: usize, mut header: Header, mut frame: Bytes, producer: u32) {
+        let (vi, peer, stripe, sslot, piggy) = {
+            let ch = &mut self.channels[slot];
             debug_assert_eq!(ch.state, ChanState::Connected);
-            let slot = ch.free_send_slots.pop().expect("caller checked slots");
+            let sslot = ch.free_send_slots.pop().expect("caller checked slots");
             let piggy = ch.credits_owed.min(255);
             ch.credits_owed -= piggy;
             ch.credits -= 1;
-            (ch.vi.unwrap(), slot, piggy)
+            (ch.vi.unwrap(), ch.peer, ch.stripe, sslot, piggy)
         };
         header.credits = piggy as u8;
         let total = frame.len();
@@ -1011,20 +1129,30 @@ impl Device {
         // already happened once at enqueue; only its time is charged here.
         self.port
             .charge(self.port.profile().copy_time(total - HEADER_LEN));
-        let desc = self.port.post_send_pooled(vi, frame, 0).expect("post send");
+        let desc = self
+            .port
+            .post_send_pooled_as(vi, frame, 0, producer)
+            .expect("post send");
+        if stripe > 0 {
+            self.metrics.inc(mpi_metrics::ENDPOINT_STRIPED_SENDS);
+        }
         self.trace(crate::trace::TraceKind::WireSent { peer, bytes: total });
         let sreq = match header.kind {
             MsgKind::Eager => Some(header.aux1),
             _ => None,
         };
-        self.channels[peer]
+        self.channels[slot]
             .inflight
-            .insert(desc.0, SlotUse::Wire { slot, sreq });
+            .insert(desc.0, SlotUse::Wire { slot: sslot, sreq });
     }
 
-    /// Issue the rendezvous RDMA write + FIN after receiving a CTS.
-    fn rendezvous_send_data(&mut self, sreq: u64, rreq: u64, remote_mem: u32) {
+    /// Issue the rendezvous RDMA write + FIN after receiving a CTS. `slot`
+    /// is the channel the CTS arrived on: that stripe is connected on both
+    /// sides, and posting the RDMA and FIN on the *same* VI preserves the
+    /// in-order FIN-after-data guarantee.
+    fn rendezvous_send_data(&mut self, sreq: u64, rreq: u64, remote_mem: u32, slot: usize) {
         let peer = self.reqs[&sreq].peer;
+        debug_assert_eq!(self.channels[slot].peer, peer, "CTS arrived off-pair");
         let data = self.reqs.get_mut(&sreq).unwrap().data.take().unwrap();
         // Register the user buffer (MVICH's dynamic registration), RDMA it,
         // then a FIN control message completes the receiver. In-order VI
@@ -1033,12 +1161,21 @@ impl Device {
         self.port
             .mem_fill(mem, 0, data.as_slice())
             .expect("zero-copy fill");
-        let vi = self.channels[peer].vi.unwrap();
+        let vi = self.channels[slot].vi.unwrap();
+        let stripe = self.channels[slot].stripe;
         let desc = self
             .port
-            .post_rdma_write(vi, mem, 0, data.len(), MemHandle(remote_mem), 0)
+            .post_rdma_write_as(
+                vi,
+                mem,
+                0,
+                data.len(),
+                MemHandle(remote_mem),
+                0,
+                self.cur_thread as u32,
+            )
             .expect("post rdma");
-        self.channels[peer]
+        self.channels[slot]
             .inflight
             .insert(desc.0, SlotUse::Rdma { sreq, mem });
         let header = Header {
@@ -1052,7 +1189,7 @@ impl Device {
             len: 0,
         };
         let frame = self.pool.alloc(HEADER_LEN);
-        self.enqueue_wire(peer, header, frame);
+        self.enqueue_wire(peer, stripe, header, frame);
     }
 
     // =====================================================================
@@ -1067,15 +1204,15 @@ impl Device {
         // Drain the completion queue.
         while let Some(c) = self.port.cq_poll() {
             progress = true;
-            let Some(&peer) = self.vi_to_peer.get(&c.vi.0) else {
+            let Some(&slot) = self.vi_to_slot.get(&c.vi.0) else {
                 continue;
             };
             match c.kind {
-                CompletionKind::Send => self.on_send_complete(peer, c.desc.0),
-                CompletionKind::RdmaWrite => self.on_rdma_complete(peer, c.desc.0),
+                CompletionKind::Send => self.on_send_complete(slot, c.desc.0),
+                CompletionKind::RdmaWrite => self.on_rdma_complete(slot, c.desc.0),
                 CompletionKind::Recv => {
                     let frame = c.payload.expect("wire recv carries its pooled frame");
-                    self.on_recv_complete(peer, frame);
+                    self.on_recv_complete(slot, frame);
                 }
             }
         }
@@ -1090,10 +1227,10 @@ impl Device {
             .filter(|(_, c)| !c.outq.is_empty() && c.state == ChanState::Connected)
             .map(|(p, _)| p)
             .collect();
-        for peer in pending {
-            let before = self.channels[peer].outq.len();
-            self.try_drain(peer);
-            progress |= self.channels[peer].outq.len() != before;
+        for slot in pending {
+            let before = self.channels[slot].outq.len();
+            self.try_drain(slot);
+            progress |= self.channels[slot].outq.len() != before;
         }
 
         // Explicit credit returns where piggybacking has stalled.
@@ -1111,8 +1248,14 @@ impl Device {
         if self.cfg.conn == ConnMode::OnDemand {
             for req in self.port.peer_requests() {
                 let peer = req.from;
-                if self.channels[peer].state == ChanState::Unconnected {
-                    self.setup_channel(peer);
+                // The requester encodes its stripe in the discriminator;
+                // answer on the same stripe so the pairing lines up.
+                let stripe = disc_stripe(req.disc);
+                if stripe >= self.nstripes() {
+                    continue;
+                }
+                if self.channels[self.slot_of(peer, stripe)].state == ChanState::Unconnected {
+                    self.setup_channel(peer, stripe);
                     progress = true;
                 }
             }
@@ -1126,24 +1269,25 @@ impl Device {
             .filter(|(_, c)| c.state == ChanState::Connecting)
             .map(|(p, _)| p)
             .collect();
-        for peer in connecting {
-            if self.channels[peer].state != ChanState::Connecting {
+        for slot in connecting {
+            if self.channels[slot].state != ChanState::Connecting {
                 continue;
             }
-            let vi = self.channels[peer].vi.unwrap();
+            let peer = self.channels[slot].peer;
+            let vi = self.channels[slot].vi.unwrap();
             if self.port.vi_state(vi) == Ok(ViState::Connected) {
                 // The promotion check comes first so a connection that
                 // completed just before its deadline never retries.
-                self.finish_connect(peer);
+                self.finish_connect(slot);
                 progress = true;
             } else if self.retries_enabled()
-                && self.port.ctx().now() >= self.channels[peer].conn_deadline
+                && self.port.ctx().now() >= self.channels[slot].conn_deadline
             {
-                if self.channels[peer].conn_attempts >= self.cfg.conn_retry_max {
-                    self.fail_channel(peer);
+                if self.channels[slot].conn_attempts >= self.cfg.conn_retry_max {
+                    self.fail_channel(slot);
                 } else {
-                    let attempt = self.channels[peer].conn_attempts + 1;
-                    self.channels[peer].conn_attempts = attempt;
+                    let attempt = self.channels[slot].conn_attempts + 1;
+                    self.channels[slot].conn_attempts = attempt;
                     self.metrics
                         .gauge_max(mpi_metrics::CONN_RETRY_DEPTH_MAX, attempt as u64);
                     match self.port.retry_connect(vi) {
@@ -1159,7 +1303,7 @@ impl Device {
                     // Exponential backoff: double the timeout per attempt.
                     let backoff = SimDuration::micros(self.cfg.conn_retry_timeout_us)
                         .saturating_mul(1u64 << attempt.min(20));
-                    self.channels[peer].conn_deadline = self.port.ctx().now() + backoff;
+                    self.channels[slot].conn_deadline = self.port.ctx().now() + backoff;
                 }
                 progress = true;
             }
@@ -1229,7 +1373,7 @@ impl Device {
             })
             .map(|(p, _)| p)
             .collect();
-        for peer in owing {
+        for slot in owing {
             let header = Header {
                 kind: MsgKind::Credit,
                 credits: 0,
@@ -1242,30 +1386,31 @@ impl Device {
             };
             self.metrics.inc(mpi_metrics::CREDIT_MSGS);
             let frame = self.pool.alloc(HEADER_LEN);
-            self.send_wire(peer, header, frame);
+            let producer = self.cur_thread as u32;
+            self.send_wire(slot, header, frame, producer);
         }
     }
 
-    fn on_send_complete(&mut self, peer: usize, desc: u64) {
-        let Some(use_) = self.channels[peer].inflight.remove(&desc) else {
+    fn on_send_complete(&mut self, slot: usize, desc: u64) {
+        let Some(use_) = self.channels[slot].inflight.remove(&desc) else {
             return;
         };
         match use_ {
-            SlotUse::Wire { slot, sreq } => {
-                self.channels[peer].free_send_slots.push(slot);
+            SlotUse::Wire { slot: sslot, sreq } => {
+                self.channels[slot].free_send_slots.push(sslot);
                 if let Some(r) = sreq {
                     if let Some(req) = self.reqs.get_mut(&r) {
                         req.done = true;
                     }
                 }
-                self.try_drain(peer);
+                self.try_drain(slot);
             }
             SlotUse::Rdma { .. } => unreachable!("rdma uses RdmaWrite completions"),
         }
     }
 
-    fn on_rdma_complete(&mut self, peer: usize, desc: u64) {
-        let Some(use_) = self.channels[peer].inflight.remove(&desc) else {
+    fn on_rdma_complete(&mut self, slot: usize, desc: u64) {
+        let Some(use_) = self.channels[slot].inflight.remove(&desc) else {
             return;
         };
         match use_ {
@@ -1292,19 +1437,19 @@ impl Device {
         }
     }
 
-    /// Process one arrived wire message on `peer`'s channel. The frame is
-    /// the pooled wire buffer the sender transmitted, delivered by
+    /// Process one arrived wire message on the channel behind `slot`. The
+    /// frame is the pooled wire buffer the sender transmitted, delivered by
     /// reference — no copy out of the VI buffer is needed.
-    fn on_recv_complete(&mut self, peer: usize, frame: Bytes) {
+    fn on_recv_complete(&mut self, slot: usize, frame: Bytes) {
         let bsz = self.cfg.buf_size;
-        let (recv_mem, recv_off, vi, slot) = {
-            let ch = &mut self.channels[peer];
-            let slot = ch
+        let (recv_mem, recv_off, vi, rslot) = {
+            let ch = &mut self.channels[slot];
+            let rslot = ch
                 .recv_slots
                 .pop_front()
                 .expect("completion implies a posted slot");
-            let (mem, off) = ch.recv_slot(slot, bsz);
-            (mem, off, ch.vi.unwrap(), slot)
+            let (mem, off) = ch.recv_slot(rslot, bsz);
+            (mem, off, ch.vi.unwrap(), rslot)
         };
         // Repost the buffer immediately (MVICH does this before protocol
         // processing so the credit can be returned).
@@ -1312,8 +1457,8 @@ impl Device {
             .post_recv(vi, recv_mem, recv_off, bsz)
             .expect("repost eager buffer");
         let want_grow = {
-            let ch = &mut self.channels[peer];
-            ch.recv_slots.push_back(slot);
+            let ch = &mut self.channels[slot];
+            ch.recv_slots.push_back(rslot);
             ch.credits_owed += 1;
             ch.recvs_since_grow += 1;
             self.cfg.dynamic_credits
@@ -1321,12 +1466,12 @@ impl Device {
                 && ch.recvs_since_grow >= ch.bufs as u64
         };
         if want_grow {
-            self.grow_recv_pool(peer);
+            self.grow_recv_pool(slot);
         }
         let header = Header::decode(&frame).expect("valid wire header");
         if header.credits > 0 {
-            self.channels[peer].credits += header.credits as usize;
-            self.try_drain(peer);
+            self.channels[slot].credits += header.credits as usize;
+            self.try_drain(slot);
         }
         match header.kind {
             MsgKind::Eager => {
@@ -1375,6 +1520,7 @@ impl Device {
             }
             MsgKind::Rts => {
                 let mlen = header.aux2 as usize;
+                let stripe = self.channels[slot].stripe;
                 match self
                     .matcher
                     .incoming(header.context, header.src, header.tag)
@@ -1385,6 +1531,7 @@ impl Device {
                         header.tag,
                         header.aux1,
                         mlen,
+                        stripe,
                     ),
                     None => {
                         self.metrics.inc(mpi_metrics::UNEXPECTED_MSGS);
@@ -1395,6 +1542,7 @@ impl Device {
                             body: UnexpectedBody::Rts {
                                 sreq: header.aux1,
                                 len: mlen,
+                                stripe,
                             },
                         });
                     }
@@ -1402,7 +1550,7 @@ impl Device {
             }
             MsgKind::Cts => {
                 let (rreq, mem) = Header::unpack_cts(header.aux2);
-                self.rendezvous_send_data(header.aux1, rreq, mem);
+                self.rendezvous_send_data(header.aux1, rreq, mem, slot);
             }
             MsgKind::Fin => {
                 let rreq = header.aux1;
@@ -1582,10 +1730,11 @@ impl Device {
     /// size is O(used channels), not O(np²) across the world.
     pub fn channel_snapshots(&self) -> Vec<ChannelSnapshot> {
         self.channels
-            .iter_entries()
-            .filter(|&(p, _)| p != self.rank)
-            .map(|(p, ch)| ChannelSnapshot {
-                peer: p,
+            .iter()
+            .filter(|ch| ch.peer != self.rank)
+            .map(|ch| ChannelSnapshot {
+                peer: ch.peer,
+                stripe: ch.stripe,
                 state: ch.state,
                 credits: ch.credits,
                 credits_owed: ch.credits_owed,
@@ -1596,7 +1745,7 @@ impl Device {
                     .vi
                     .map(|v| self.port.vi_state(v) == Ok(ViState::Connected))
                     .unwrap_or(false),
-                connected_vis_to_peer: self.port.connected_vis_to(p),
+                connected_vis_to_peer: self.port.connected_vis_to(ch.peer),
             })
             .collect()
     }
@@ -1608,6 +1757,8 @@ impl Device {
 pub struct ChannelSnapshot {
     /// Peer rank.
     pub peer: usize,
+    /// Stripe index within the pair (0 on the default single-VI config).
+    pub stripe: usize,
     /// Channel FSM state.
     pub state: ChanState,
     /// Eager send credits held toward the peer.
@@ -1622,8 +1773,10 @@ pub struct ChannelSnapshot {
     pub inflight: usize,
     /// Whether the channel's VI is in the `Connected` VIA state.
     pub vi_connected: bool,
-    /// Connected VIs on this NIC whose remote end is `peer` (must be ≤ 1:
-    /// the simultaneous-connect race must never yield duplicate VIs).
+    /// Connected VIs on this NIC whose remote end is `peer` — counted per
+    /// *pair*, so every stripe snapshot of the pair reports the same total
+    /// (must be ≤ `vis_per_peer`: the simultaneous-connect race must never
+    /// yield duplicate VIs for a stripe).
     pub connected_vis_to_peer: usize,
 }
 
@@ -1634,6 +1787,7 @@ impl ChannelSnapshot {
     pub fn absent(peer: usize) -> Self {
         ChannelSnapshot {
             peer,
+            stripe: 0,
             state: ChanState::Unconnected,
             credits: 0,
             credits_owed: 0,

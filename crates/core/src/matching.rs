@@ -46,6 +46,11 @@ pub enum UnexpectedBody {
         sreq: u64,
         /// Full message length.
         len: usize,
+        /// Stripe the RTS arrived on. The CTS must return on this stripe:
+        /// the sender has already driven a send through it, so its VI there
+        /// is guaranteed Connected, whereas the receiver's own send stripe
+        /// may still be mid-handshake on the sender's side.
+        stripe: usize,
     },
 }
 
@@ -253,6 +258,7 @@ mod tests {
             body: UnexpectedBody::Rts {
                 sreq: 77,
                 len: 1 << 20,
+                stripe: 0,
             },
         });
         let u = m.post_recv(recv(9, Some(1), Some(2))).unwrap();
@@ -260,7 +266,8 @@ mod tests {
             u.body,
             UnexpectedBody::Rts {
                 sreq: 77,
-                len: 1 << 20
+                len: 1 << 20,
+                stripe: 0
             }
         );
     }

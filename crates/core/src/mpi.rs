@@ -85,6 +85,16 @@ impl Mpi {
         self.dev.borrow().port.ctx().advance(d);
     }
 
+    /// Declare which simulated producer thread issues the following MPI
+    /// calls (the MPI+threads workload axis). Thread `t` sends on stripe
+    /// `t % vis_per_peer` of each peer's VI set, and consecutive posts to
+    /// one VI from different threads pay the device's shared-VI lock-convoy
+    /// charge. The default thread 0 with the default single VI per pair is
+    /// a no-op, reproducing the paper's single-threaded protocol exactly.
+    pub fn set_thread(&self, t: usize) {
+        self.dev.borrow_mut().set_thread(t);
+    }
+
     fn charge_call(&self) {
         let mut dev = self.dev.borrow_mut();
         dev.maybe_noise();

@@ -266,6 +266,38 @@ pub fn neighbor_exchange(mpi: &Mpi, partners: &BTreeSet<usize>, iters: usize, le
     }
 }
 
+/// Drive a threads-per-rank bidirectional pair exchange (the MPI+threads
+/// workload axis): `threads` simulated producer threads on this rank each
+/// post `msgs` sends of `len` bytes to `peer`, tagged by thread id, with
+/// every thread's receives pre-posted first. Each thread declares itself
+/// via [`Mpi::set_thread`] before posting, so with multi-VI endpoints
+/// configured (`vis_per_peer >= threads`) each thread drives its own
+/// stripe VI, while with a single shared VI all threads funnel through one
+/// doorbell and pay the NIC's lock-convoy charge on every producer switch.
+/// Sends are interleaved round-robin across threads — message `m` from
+/// every thread posts before message `m + 1` from any — the deterministic
+/// serialization of `threads` concurrent producers that maximizes
+/// producer alternation on a shared VI.
+pub fn threaded_pair_exchange(mpi: &Mpi, peer: usize, threads: usize, msgs: usize, len: usize) {
+    assert!(threads >= 1, "need at least one producer thread");
+    let buf = vec![0x7Au8; len];
+    let mut reqs = Vec::with_capacity(threads * msgs * 2);
+    for t in 0..threads {
+        mpi.set_thread(t);
+        for _ in 0..msgs {
+            reqs.push(mpi.irecv(Some(peer), Some(t as i32)));
+        }
+    }
+    for _ in 0..msgs {
+        for t in 0..threads {
+            mpi.set_thread(t);
+            reqs.push(mpi.isend(&buf, peer, t as i32));
+        }
+    }
+    mpi.set_thread(0);
+    mpi.waitall(&reqs);
+}
+
 /// Mean distinct destinations per process.
 pub fn average_destinations(sets: &[BTreeSet<usize>]) -> f64 {
     sets.iter().map(|s| s.len() as f64).sum::<f64>() / sets.len() as f64

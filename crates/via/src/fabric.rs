@@ -298,6 +298,7 @@ impl Fabric {
                 dst: peer,
                 body: PacketBody::Send { data, imm },
             },
+            0,
         );
         Ok(desc)
     }
@@ -318,6 +319,23 @@ impl Fabric {
         vi: ViId,
         data: Bytes,
         imm: u32,
+    ) -> Result<DescId, ViaError> {
+        self.post_send_pooled_as(api, node, vi, data, imm, 0)
+    }
+
+    /// [`Fabric::post_send_pooled`] with an explicit posting producer
+    /// thread. A post whose producer differs from the VI's previous post
+    /// pays the [`DeviceProfile::vi_lock_convoy`] charge — the shared-VI
+    /// contention of multithreaded ranks. Producer 0 (the legacy entry
+    /// points) on a single-producer VI never pays it.
+    pub fn post_send_pooled_as(
+        &mut self,
+        api: &mut Api<'_, FabricEvent>,
+        node: NodeId,
+        vi: ViId,
+        data: Bytes,
+        imm: u32,
+        producer: u32,
     ) -> Result<DescId, ViaError> {
         let peer = {
             let v = self.nics[node].vi(vi)?;
@@ -342,6 +360,7 @@ impl Fabric {
                     imm,
                 },
             },
+            producer,
         );
         Ok(desc)
     }
@@ -359,6 +378,24 @@ impl Fabric {
         len: usize,
         remote_mem: MemHandle,
         remote_off: usize,
+    ) -> Result<DescId, ViaError> {
+        self.post_rdma_write_as(api, node, vi, mem, off, len, remote_mem, remote_off, 0)
+    }
+
+    /// [`Fabric::post_rdma_write`] with an explicit posting producer thread
+    /// (see [`Fabric::post_send_pooled_as`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn post_rdma_write_as(
+        &mut self,
+        api: &mut Api<'_, FabricEvent>,
+        node: NodeId,
+        vi: ViId,
+        mem: MemHandle,
+        off: usize,
+        len: usize,
+        remote_mem: MemHandle,
+        remote_off: usize,
+        producer: u32,
     ) -> Result<DescId, ViaError> {
         self.nics[node].check_bounds(mem, off, len)?;
         let peer = {
@@ -386,12 +423,14 @@ impl Fabric {
                     remote_off,
                 },
             },
+            producer,
         );
         Ok(desc)
     }
 
     /// Shared transmit path: NIC serialization, Fig.-1 per-VI scan cost,
-    /// bandwidth, wire latency, receive processing.
+    /// the shared-VI lock-convoy charge on a producer switch, bandwidth,
+    /// wire latency, receive processing.
     fn launch(
         &mut self,
         api: &mut Api<'_, FabricEvent>,
@@ -399,6 +438,7 @@ impl Fabric {
         vi: ViId,
         desc: DescId,
         pkt: Packet,
+        producer: u32,
     ) {
         let bytes = match &pkt.body {
             PacketBody::Send { data, .. } => data.len(),
@@ -413,9 +453,36 @@ impl Fabric {
         nic.metrics.inc(nic_metrics::MSGS_TX);
         nic.metrics.add(nic_metrics::BYTES_TX, bytes as u64);
         nic.metrics.observe(nic_metrics::TX_BYTES, bytes as u64);
-        nic.vis[vi.0 as usize].msgs_sent += 1;
+        // Lock-convoy detection: the doorbell/descriptor-queue lock bounces
+        // when consecutive posts on one VI come from different producer
+        // threads (Zambre et al.'s shared-endpoint pathology). Single-
+        // producer VIs — every run at the default threads=1 — never match,
+        // so the charge (and the timing) is bit-identical with older
+        // revisions there.
+        let convoy = {
+            let v = &mut nic.vis[vi.0 as usize];
+            v.msgs_sent += 1;
+            let switched = v.last_producer.is_some_and(|p| p != producer);
+            v.last_producer = Some(producer);
+            if switched && !v.multi_producer {
+                v.multi_producer = true;
+            }
+            switched
+        };
+        if convoy {
+            nic.metrics.inc(nic_metrics::VI_PRODUCER_SWITCHES);
+            nic.metrics.add(
+                nic_metrics::VI_CONVOY_NS,
+                self.profile.vi_lock_convoy.as_nanos(),
+            );
+            let multi = nic.vis.iter().filter(|v| v.multi_producer).count() as u64;
+            nic.metrics.gauge_max(nic_metrics::VI_MULTI_PRODUCER, multi);
+        }
         let live = nic.live_vis();
-        let start = (api.now() + self.profile.doorbell).max(nic.tx_busy_until);
+        let mut start = (api.now() + self.profile.doorbell).max(nic.tx_busy_until);
+        if convoy {
+            start += self.profile.vi_lock_convoy;
+        }
         let tx_done = start + self.profile.tx_time(bytes, live);
         nic.tx_busy_until = tx_done;
         api.schedule_at(

@@ -32,9 +32,12 @@ pub mod nic_metrics {
             POOL_MISSES => "nic.pool.misses": "Wire-buffer allocations that touched the system allocator",
             POOL_RECYCLED => "nic.pool.recycled": "Wire buffers returned to a free list on final drop",
             POOL_DISCARDED => "nic.pool.discarded": "Wire buffers not retained (oversize, full list, or exported)",
+            VI_PRODUCER_SWITCHES => "nic.vi.producer_switches": "Posts to a VI whose previous post came from a different producer thread",
+            VI_CONVOY_NS => "nic.vi.convoy_ns": "Virtual nanoseconds of lock-convoy charge on shared VIs",
         }
         gauges {
             VIS_PEAK => "nic.vis_peak": "Peak simultaneously-live VIs",
+            VI_MULTI_PRODUCER => "nic.vi.multi_producer_vis": "VIs that have seen posts from more than one producer thread",
             PINNED_NOW => "nic.pinned_now": "Currently pinned bytes",
             PINNED_PEAK => "nic.pinned_peak": "Peak pinned bytes",
             POOL_LIVE => "nic.pool.live": "Pooled wire buffers live at snapshot time",
@@ -76,6 +79,12 @@ pub struct Vi {
     pub msgs_sent: u64,
     /// Messages received on this VI.
     pub msgs_recvd: u64,
+    /// Producer thread of the most recent post (send or RDMA). A switch
+    /// between posts triggers the lock-convoy charge of
+    /// [`crate::DeviceProfile::vi_lock_convoy`]; `None` until first post.
+    pub last_producer: Option<u32>,
+    /// True once a second distinct producer has posted on this VI.
+    pub multi_producer: bool,
     /// True once destroyed; the slot is never reused so `ViId`s stay unique.
     pub destroyed: bool,
 }
@@ -90,6 +99,8 @@ impl Vi {
             recv_q: VecDeque::new(),
             msgs_sent: 0,
             msgs_recvd: 0,
+            last_producer: None,
+            multi_producer: false,
             destroyed: false,
         }
     }

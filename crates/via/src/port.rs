@@ -206,10 +206,24 @@ impl ViaPort {
         data: crate::fabric::Bytes,
         imm: u32,
     ) -> Result<DescId, ViaError> {
+        self.post_send_pooled_as(vi, data, imm, 0)
+    }
+
+    /// [`ViaPort::post_send_pooled`] with an explicit posting producer
+    /// thread: a post whose producer differs from the VI's previous post
+    /// pays the device's shared-VI lock-convoy charge (see
+    /// [`crate::DeviceProfile::vi_lock_convoy`]).
+    pub fn post_send_pooled_as(
+        &self,
+        vi: ViId,
+        data: crate::fabric::Bytes,
+        imm: u32,
+        producer: u32,
+    ) -> Result<DescId, ViaError> {
         self.ctx.advance(self.profile.post_send);
         let node = self.node;
         self.ctx
-            .with_world(|f, api| f.post_send_pooled(api, node, vi, data, imm))
+            .with_world(|f, api| f.post_send_pooled_as(api, node, vi, data, imm, producer))
     }
 
     /// A handle to the fabric's shared wire-buffer pool.
@@ -243,10 +257,28 @@ impl ViaPort {
         remote_mem: MemHandle,
         remote_off: usize,
     ) -> Result<DescId, ViaError> {
+        self.post_rdma_write_as(vi, mem, off, len, remote_mem, remote_off, 0)
+    }
+
+    /// [`ViaPort::post_rdma_write`] with an explicit posting producer
+    /// thread (see [`ViaPort::post_send_pooled_as`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn post_rdma_write_as(
+        &self,
+        vi: ViId,
+        mem: MemHandle,
+        off: usize,
+        len: usize,
+        remote_mem: MemHandle,
+        remote_off: usize,
+        producer: u32,
+    ) -> Result<DescId, ViaError> {
         self.ctx.advance(self.profile.post_send);
         let node = self.node;
         self.ctx.with_world(|f, api| {
-            f.post_rdma_write(api, node, vi, mem, off, len, remote_mem, remote_off)
+            f.post_rdma_write_as(
+                api, node, vi, mem, off, len, remote_mem, remote_off, producer,
+            )
         })
     }
 

@@ -62,6 +62,14 @@ pub struct DeviceProfile {
     /// Link bandwidth in bytes per microsecond (MB/s numerically).
     pub bytes_per_us: f64,
 
+    /// Lock-convoy charge when a send is posted to a VI whose previous post
+    /// came from a *different* producer thread: the doorbell/descriptor-queue
+    /// lock bounces between cores and the NIC sees a serialized, cache-cold
+    /// post (the shared-endpoint pathology of Zambre et al.). Charged once
+    /// per producer switch; zero-cost when a VI has a single producer, so
+    /// single-threaded runs are bit-identical with older revisions.
+    pub vi_lock_convoy: SimDuration,
+
     // ---- completion wait semantics ----
     /// Wake-up penalty after a *blocking* wait (kernel interrupt path).
     pub wakeup: SimDuration,
@@ -105,6 +113,7 @@ impl DeviceProfile {
             per_vi_poll: SimDuration::ZERO,
             wire_latency: SimDuration::nanos(500),
             bytes_per_us: 110.0, // ~110 MB/s
+            vi_lock_convoy: SimDuration::micros(2),
             wakeup: SimDuration::micros(28),
             wait_is_polling: false,
             conn_wire: SimDuration::micros(12),
@@ -134,6 +143,11 @@ impl DeviceProfile {
             per_vi_poll: SimDuration::nanos(1_400),
             wire_latency: SimDuration::nanos(800),
             bytes_per_us: 40.0, // ~40 MB/s
+            // The LANai firmware serializes doorbell processing; a
+            // producer switch on a shared VI stalls the whole post path
+            // for far longer than one extra per-VI poll (~1.4 µs), which
+            // is what makes N-VI striping win for multithreaded ranks.
+            vi_lock_convoy: SimDuration::micros(12),
             wakeup: SimDuration::ZERO,
             wait_is_polling: true,
             conn_wire: SimDuration::micros(18),
@@ -245,6 +259,19 @@ mod tests {
             assert!(p.min_latency() <= p.conn_wire);
             assert!(p.min_latency() > SimDuration::ZERO);
         }
+    }
+
+    #[test]
+    fn convoy_exceeds_striping_overhead_at_t8_on_berkeley() {
+        // The sizing argument behind fig9: with 8 producer threads striped
+        // over 8 VIs, each message pays at most 7 extra per-VI polls; a
+        // shared VI pays the convoy charge on (nearly) every message. The
+        // convoy must dominate or striping could never win on firmware VIA.
+        let b = DeviceProfile::berkeley();
+        assert!(b.vi_lock_convoy > b.per_vi_poll.saturating_mul(7));
+        // And cLAN charges a convoy too (cache-line bouncing is a host
+        // effect), so striping also wins there.
+        assert!(DeviceProfile::clan().vi_lock_convoy > SimDuration::ZERO);
     }
 
     #[test]

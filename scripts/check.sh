@@ -7,31 +7,65 @@
 #   scripts/check.sh                       # the full gate (default)
 #   scripts/check.sh determinism [MODE]    # just the determinism suite,
 #                                          # MODE ∈ {fastpath (default),
-#                                          #         no-fastpath, par2, sm}
+#                                          #         no-fastpath, par2, sm,
+#                                          #         multivi}
+#   scripts/check.sh campaign [SECS]       # long timeboxed simcheck
+#                                          # campaign (default 600 s),
+#                                          # resuming the committed state
 #
-# The determinism stage is what CI's matrix legs call, so the exact
-# command — and the engine-mode environment it runs under — lives here
-# and can never drift from the workflow.
+# The determinism and campaign stages are what CI's jobs call, so the
+# exact commands — and the engine-mode environment they run under — live
+# here and can never drift from the workflows.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 determinism_suite() {
+    # Test-name filter for the cargo test invocation; empty runs the
+    # whole suite. The multivi leg runs only the multi-VI striping tests
+    # (repeat, cross-backend, jobs-count and counter-name byte-equality
+    # at vis_per_peer ∈ {1,4}) — they pin their own backends internally,
+    # so the leg needs no mode environment.
+    filter=""
     case "${1:-fastpath}" in
         fastpath) ;;
         no-fastpath) export VIAMPI_NO_FASTPATH=1 ;;
         par2) export VIAMPI_PAR=2 ;;
         sm) export VIAMPI_ENGINE=sm ;;
+        multivi) filter="multivi" ;;
         *)
             echo "check.sh: unknown determinism mode '${1}'" >&2
             exit 2
             ;;
     esac
     echo "== determinism suite (mode: ${1:-fastpath})"
-    cargo test --release --offline --locked -p viampi-bench --test determinism
+    # shellcheck disable=SC2086  # $filter is an optional bare test filter
+    cargo test --release --offline --locked -p viampi-bench --test determinism $filter
+}
+
+# Timeboxed coverage-directed campaign for $1 seconds, resuming a scratch
+# copy of the committed frontier baseline. The committed state only moves
+# when a maintainer commits a refreshed map (see tests/corpus/README.md).
+# The stage always replays the full minimized corpus
+# (tests/corpus/minimized.seeds) before exploring, then pushes the
+# coverage frontier for the wall budget; any new violation is shrunk,
+# appended to the corpus, and fails the stage. Artifacts land under
+# target/campaign/ (state.json + summary.json).
+campaign_stage() {
+    mkdir -p target/campaign
+    cp tests/corpus/campaign_state.json target/campaign/state.json
+    cargo run -q --release --offline --locked -p viampi-bench --bin simcheck -- \
+        --campaign target/campaign/state.json --timebox "$1" --fault heavy \
+        --summary-out target/campaign/summary.json
 }
 
 if [[ "${1:-all}" == "determinism" ]]; then
     determinism_suite "${2:-fastpath}"
+    exit 0
+fi
+
+if [[ "${1:-all}" == "campaign" ]]; then
+    echo "== simcheck campaign (timebox: ${2:-600}s, resumes committed coverage)"
+    campaign_stage "${2:-600}"
     exit 0
 fi
 
@@ -55,16 +89,6 @@ echo "== determinism suite under the state-machine backend (VIAMPI_ENGINE=sm)"
 (determinism_suite sm)
 
 echo "== simcheck campaign frontier (timeboxed, resumes committed coverage)"
-# Work on a scratch copy: the committed state is the frontier baseline and
-# only moves when a maintainer commits a refreshed map. The stage always
-# replays the full minimized corpus (tests/corpus/minimized.seeds, if any)
-# before exploring, then pushes the coverage frontier for a fixed wall
-# budget; any new violation is shrunk, appended to the corpus, and fails
-# the gate.
-mkdir -p target/campaign
-cp tests/corpus/campaign_state.json target/campaign/state.json
-cargo run -q --release --offline --locked -p viampi-bench --bin simcheck -- \
-    --campaign target/campaign/state.json --timebox 20 --fault heavy \
-    --summary-out target/campaign/summary.json
+campaign_stage 20
 
 echo "all checks passed"
