@@ -179,11 +179,43 @@ where
     committed
 }
 
+/// Effective engine mode of this process's runs, resolved the same way the
+/// engine resolves a config `None` (defer to the environment): execution
+/// backend, pre-release width, shard count, and compute coalescing.
+///
+/// Recorded in every [`PerfRecord`] so a wall-clock number carries the
+/// mode it was measured under — comparing a `shards=4` record against a
+/// serial baseline is a mode change, not a regression.
+pub fn engine_mode() -> String {
+    let env_width = |key: &str| {
+        std::env::var(key)
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .unwrap_or(1)
+            .max(1)
+    };
+    let backend = match viampi_sim::Backend::from_env() {
+        Some(viampi_sim::Backend::Sm) => "sm",
+        _ => "threads",
+    };
+    let par = env_width("VIAMPI_PAR");
+    let shards = env_width("VIAMPI_SHARDS");
+    let coalesce = if std::env::var_os("VIAMPI_NO_COALESCE").is_some() {
+        "off"
+    } else {
+        "on"
+    };
+    format!("{backend} par={par} shards={shards} coalesce={coalesce}")
+}
+
 /// Wall-clock/throughput record for one timed experiment.
 #[derive(Debug, Clone)]
 pub struct PerfRecord {
     /// Experiment name (matches the `results/<name>.json` record).
     pub name: String,
+    /// Effective engine mode the measurement ran under (see
+    /// [`engine_mode`]).
+    pub engine_mode: String,
     /// Wall-clock seconds.
     pub wall_secs: f64,
     /// Worker count in effect.
@@ -206,6 +238,7 @@ pub struct PerfRecord {
 
 crate::impl_json!(PerfRecord {
     name,
+    engine_mode,
     wall_secs,
     jobs,
     runs,
@@ -232,6 +265,7 @@ pub fn timed<R>(name: &str, f: impl FnOnce() -> R) -> R {
     let events = after.events - before.events;
     let record = PerfRecord {
         name: name.to_string(),
+        engine_mode: engine_mode(),
         wall_secs: wall,
         jobs: jobs(),
         runs: after.runs - before.runs,
@@ -278,8 +312,9 @@ pub fn write_perf(name: &str) -> String {
         })
         .collect();
     format!(
-        "harness wall-clock ({} jobs; {} events in {:.1}s):\n\n{}\nperf record: {}",
+        "harness wall-clock ({} jobs; engine {}; {} events in {:.1}s):\n\n{}\nperf record: {}",
         jobs(),
+        engine_mode(),
         total_events,
         total_wall,
         crate::report::table(
@@ -377,6 +412,24 @@ mod tests {
         let v = timed("runner_test_timed", || 42);
         assert_eq!(v, 42);
         let log = PERF_LOG.lock().unwrap_or_else(|e| e.into_inner());
-        assert!(log.iter().any(|r| r.name == "runner_test_timed"));
+        let rec = log
+            .iter()
+            .find(|r| r.name == "runner_test_timed")
+            .expect("timed() pushed a record");
+        assert_eq!(rec.engine_mode, engine_mode());
+    }
+
+    #[test]
+    fn engine_mode_names_every_knob() {
+        // The exact values are environment-dependent (the determinism mode
+        // legs export VIAMPI_PAR/SHARDS/ENGINE), so pin the shape: every
+        // knob appears exactly once, in a fixed order.
+        let m = engine_mode();
+        assert!(m.starts_with("threads ") || m.starts_with("sm "), "{m}");
+        let rest: Vec<&str> = m.split(' ').skip(1).collect();
+        assert_eq!(rest.len(), 3, "{m}");
+        assert!(rest[0].starts_with("par="), "{m}");
+        assert!(rest[1].starts_with("shards="), "{m}");
+        assert!(rest[2] == "coalesce=on" || rest[2] == "coalesce=off", "{m}");
     }
 }

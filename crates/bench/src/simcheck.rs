@@ -122,6 +122,9 @@ struct Scenario {
     data_jitter: Option<(f64, f64, u64)>,
     /// Engine worker width (1 = serial; the par-engine axis raises it).
     par_workers: usize,
+    /// Engine shard count (1 = serial structures; the shards axis raises
+    /// it — results must stay byte-identical at any count).
+    shards: usize,
     /// Compute coalescing (the par-engine axis also fuzzes it off).
     coalesce: bool,
     /// Engine backend (`None` = session default; the engine-backend axis
@@ -180,6 +183,7 @@ fn derive(seed: u64) -> Scenario {
         // its own invariant, so only the par-engine and engine-backend axes
         // vary these.
         par_workers: 1,
+        shards: 1,
         coalesce: true,
         engine_backend: None,
         vis_per_peer: 1,
@@ -300,11 +304,16 @@ pub enum Axis {
     /// invariant generalizes per (peer, stripe) — per-VI credit
     /// conservation, per-pair VI totals, symmetric stripe states.
     Endpoints = 10,
+    /// Sharded conservative engine (`VIAMPI_SHARDS` 2–4): every invariant
+    /// must hold — and every outcome stay byte-identical to serial —
+    /// under per-shard wheels, cross-shard mailboxes and the global
+    /// `(time, seq)` merge.
+    Shards = 11,
 }
 
 impl Axis {
     /// Every axis, in tag order.
-    pub const ALL: [Axis; 10] = [
+    pub const ALL: [Axis; 11] = [
         Axis::NpLarge,
         Axis::Storm,
         Axis::RetryEdge,
@@ -315,6 +324,7 @@ impl Axis {
         Axis::ParEngine,
         Axis::EngineBackend,
         Axis::Endpoints,
+        Axis::Shards,
     ];
 
     /// Axis for a key tag in `1..=14`.
@@ -335,6 +345,7 @@ impl Axis {
             Axis::ParEngine => "par-engine",
             Axis::EngineBackend => "engine-backend",
             Axis::Endpoints => "endpoints",
+            Axis::Shards => "shards",
         }
     }
 
@@ -343,7 +354,11 @@ impl Axis {
     pub fn weight(self) -> u32 {
         match self {
             Axis::NpLarge | Axis::Storm | Axis::RetryEdge => 4,
-            Axis::DataJitter | Axis::ParEngine | Axis::EngineBackend | Axis::Endpoints => 2,
+            Axis::DataJitter
+            | Axis::ParEngine
+            | Axis::EngineBackend
+            | Axis::Endpoints
+            | Axis::Shards => 2,
             Axis::Msgs | Axis::ConnWait | Axis::DynCredits => 1,
         }
     }
@@ -449,6 +464,11 @@ fn apply_axis(mut sc: Scenario, axis: Axis, variant: u32, k: u64) -> Scenario {
             // sharing stripes, the convoy path).
             sc.vis_per_peer = [2, 4][variant as usize % 2];
             sc.threads = [1, 2, 4][(variant as usize / 2) % 3];
+        }
+        Axis::Shards => {
+            // 2–4 shards; the engine clamps to np, so small worlds still
+            // exercise the drain/merge path at their full width.
+            sc.shards = 2 + (variant as usize % 3);
         }
     }
     sc
@@ -1033,6 +1053,7 @@ pub fn run_key(k: u64, kind: FaultKind) -> SeedOutcome {
         cfg.sched_seed = Some(sc.sched_seed);
         cfg.dynamic_credits = sc.dynamic_credits;
         cfg.par_workers = Some(sc.par_workers);
+        cfg.shards = Some(sc.shards);
         cfg.coalesce = Some(sc.coalesce);
         cfg.engine_backend = sc.engine_backend;
         cfg.vis_per_peer = sc.vis_per_peer;
@@ -1080,6 +1101,10 @@ pub fn run_key(k: u64, kind: FaultKind) -> SeedOutcome {
     // single-VI single-thread scenarios keep their historical bytes.
     if sc.vis_per_peer > 1 || sc.threads > 1 {
         signature.push_str(&format!("|ep{}x{}", sc.vis_per_peer, sc.threads));
+    }
+    // Shards-axis scenarios likewise; serial scenarios keep their bytes.
+    if sc.shards > 1 {
+        signature.push_str(&format!("|sh{}", sc.shards));
     }
     SeedOutcome {
         seed: k,
@@ -1389,6 +1414,10 @@ mod tests {
             derive_key(key::mutated(Axis::Endpoints, 4, root)).threads,
             4
         );
+        for variant in 0..6 {
+            let sh = derive_key(key::mutated(Axis::Shards, variant, root));
+            assert_eq!(sh.shards, 2 + (variant as usize % 3));
+        }
         // Every mutated key reseeds the schedule: same topology axis,
         // different race.
         assert_ne!(np_large.sched_seed, base.sched_seed);
@@ -1477,6 +1506,31 @@ mod tests {
                 crate::json::to_string_pretty(&a),
                 crate::json::to_string_pretty(&b),
                 "parallel-engine key {k} must replay"
+            );
+        }
+    }
+
+    #[test]
+    fn a_shards_key_passes_invariants_and_replays() {
+        // Variant 0 → 2 shards, variant 2 → 4 shards. Every invariant must
+        // hold and the outcome replay byte-identically despite per-shard
+        // wheels and cross-shard mailboxes; the serial twin of the same
+        // root differs only in its coverage token.
+        for variant in [0u32, 2] {
+            let k = key::mutated(Axis::Shards, variant, 29);
+            let a = run_key(k, FaultKind::Light);
+            assert!(a.violations.is_empty(), "{:?}", a.violations);
+            assert!(
+                a.signature
+                    .ends_with(&format!("|sh{}", 2 + variant as usize)),
+                "{}",
+                a.signature
+            );
+            let b = run_key(k, FaultKind::Light);
+            assert_eq!(
+                crate::json::to_string_pretty(&a),
+                crate::json::to_string_pretty(&b),
+                "shards key {k} must replay"
             );
         }
     }

@@ -709,6 +709,140 @@ fn sm_counter_names_are_pinned() {
     );
 }
 
+// ---------------------------------------------------------------------------
+// Sharded conservative mode: per-shard wheels merged in (time, seq) order.
+// ---------------------------------------------------------------------------
+
+/// The fig4 barrier run with the shard count (and optionally the other
+/// engine modes) pinned through the config — overrides beat the
+/// `VIAMPI_SHARDS` environment, so these tests are race-free under any
+/// test-harness parallelism and any check.sh determinism leg.
+fn barrier_run_shards(
+    np: usize,
+    shards: usize,
+    backend: Option<Backend>,
+    par: Option<usize>,
+    coalesce: Option<bool>,
+) -> RunReport<Option<f64>> {
+    let mut uni = Universe::new(np, Device::Clan, ConnMode::OnDemand, WaitPolicy::Polling);
+    uni.config_mut().shards = Some(shards);
+    uni.config_mut().engine_backend = backend;
+    uni.config_mut().par_workers = par;
+    uni.config_mut().coalesce = coalesce;
+    uni.run(|mpi| llc::barrier_latency(mpi, 300)).unwrap()
+}
+
+/// The CG class-S run with the shard count pinned.
+fn npb_run_shards(shards: usize, backend: Option<Backend>) -> RunReport<Option<f64>> {
+    let mut uni = Universe::new(8, Device::Clan, ConnMode::OnDemand, WaitPolicy::Polling);
+    uni.config_mut().shards = Some(shards);
+    uni.config_mut().engine_backend = backend;
+    uni.run(|mpi| {
+        let r = cg::run(mpi, Class::S);
+        Some(if r.verified { r.time_secs } else { f64::NAN })
+    })
+    .unwrap()
+}
+
+#[test]
+fn sharded_engine_matches_serial_for_fig4_and_cg() {
+    // The W-way (time, seq) merge must reproduce the serial schedule
+    // exactly: same end times, event counts, per-rank finishes and result
+    // bits at every shard count, under both backends.
+    let fig4 = fingerprint(&barrier_run_shards(16, 1, None, None, None));
+    let cg = fingerprint(&npb_run_shards(1, None));
+    for shards in [2usize, 4] {
+        assert_eq!(
+            fingerprint(&barrier_run_shards(16, shards, None, None, None)),
+            fig4,
+            "fig4 must be bit-identical at VIAMPI_SHARDS={shards}"
+        );
+        assert_eq!(
+            fingerprint(&npb_run_shards(shards, None)),
+            cg,
+            "CG must be bit-identical at VIAMPI_SHARDS={shards}"
+        );
+        assert_eq!(
+            fingerprint(&npb_run_shards(shards, Some(Backend::Sm))),
+            cg,
+            "CG under sm must be bit-identical at VIAMPI_SHARDS={shards}"
+        );
+    }
+}
+
+#[test]
+fn sharded_engine_composes_with_other_modes() {
+    // Shards must compose with every other engine mode without moving a
+    // single bit: sm backend, eager compute, pre-release widths, and the
+    // full shards × par × coalesce stack.
+    let base = fingerprint(&barrier_run_shards(16, 1, None, None, None));
+    let legs: [(&str, RunReport<Option<f64>>); 4] = [
+        (
+            "shards=2 × sm",
+            barrier_run_shards(16, 2, Some(Backend::Sm), None, None),
+        ),
+        (
+            "shards=2 × eager compute",
+            barrier_run_shards(16, 2, None, None, Some(false)),
+        ),
+        (
+            "shards=2 × par=2",
+            barrier_run_shards(16, 2, None, Some(2), None),
+        ),
+        (
+            "shards=4 × par=2 × eager compute",
+            barrier_run_shards(16, 4, None, Some(2), Some(false)),
+        ),
+    ];
+    for (label, report) in &legs {
+        assert_eq!(
+            fingerprint(report),
+            base,
+            "{label} must be bit-identical to serial"
+        );
+    }
+}
+
+#[test]
+fn shard_counter_names_are_pinned() {
+    // The shard observability counters are part of the metrics interface:
+    // the dotted names must not drift, a sharded run must actually take
+    // LBTS rounds and cross-shard sends, and a serial run must report the
+    // counters at zero with workers = 1.
+    let r = barrier_run_shards(8, 2, None, None, None);
+    let rendered = r.metrics.render();
+    for name in [
+        "sim.shard.lbts_rounds",
+        "sim.shard.cross_sends",
+        "sim.shard.stalls",
+        "sim.shard.mailbox_peak",
+        "sim.shard.workers",
+    ] {
+        assert!(
+            rendered.contains(name),
+            "snapshot is missing {name}:\n{rendered}"
+        );
+    }
+    assert!(
+        r.metrics.get("sim.shard.lbts_rounds").unwrap() > 0,
+        "sharded run must take LBTS merge rounds"
+    );
+    assert!(
+        r.metrics.get("sim.shard.cross_sends").unwrap() > 0,
+        "a barrier exchanges across the shard cut"
+    );
+    assert_eq!(r.metrics.get("sim.shard.workers"), Some(2));
+    let repeat = barrier_run_shards(8, 2, None, None, None).metrics.render();
+    assert_eq!(
+        rendered, repeat,
+        "shard counters must replay bit-identically"
+    );
+    let serial = barrier_run_shards(8, 1, None, None, None);
+    assert_eq!(serial.metrics.get("sim.shard.lbts_rounds"), Some(0));
+    assert_eq!(serial.metrics.get("sim.shard.cross_sends"), Some(0));
+    assert_eq!(serial.metrics.get("sim.shard.workers"), Some(1));
+}
+
 #[test]
 fn outcome_matches_with_fast_path_disabled_if_env_set() {
     // When the whole test process runs under VIAMPI_NO_FASTPATH=1 this

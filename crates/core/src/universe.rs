@@ -149,6 +149,7 @@ impl Universe {
         let mut engine = Engine::new(fabric);
         engine.set_sched_seed(cfg.sched_seed);
         engine.set_par(cfg.par_workers);
+        engine.set_shards(cfg.shards);
         engine.set_coalesce(cfg.coalesce);
         engine.set_backend(cfg.engine_backend);
         engine.set_lookahead(cfg.device.profile().min_latency());

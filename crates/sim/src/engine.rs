@@ -109,6 +109,35 @@
 //! byte-identical at any `N`; the window only controls how much pure compute
 //! overlaps wall-clock-wise. Correctness does not depend on the lookahead
 //! value (promotion is the commit gate); `0` simply disables overlap.
+//!
+//! ## Sharded conservative mode (`VIAMPI_SHARDS=W`)
+//!
+//! [`Engine::set_shards`] / `VIAMPI_SHARDS=W` partitions the processes into
+//! `W` contiguous shards, each owning its own timing wheel and ready heap.
+//! Events carry a *global* monotone sequence number assigned at scheduling
+//! time; same-shard events go straight onto the owning shard's wheel, while
+//! cross-shard sends (routed by [`World::event_dst`]) travel through
+//! per-(src,dst) SPSC mailboxes that are drained — in fixed (src,dst) order —
+//! before every scheduling inspection. Each scheduling step is one
+//! lower-bound-timestamp (LBTS) merge round: the W wheel heads and W ready
+//! heads are compared by their full `(time, seq)` / `(clock, key, pid)` keys
+//! and the global minimum is committed. Because the global sequence numbers
+//! reproduce the serial engine's insertion order and every wheel orders by
+//! the full key, the W-way merge pops in *exactly* the serial total order —
+//! results are byte-identical at any `W`, under both backends, composed with
+//! coalescing and parallel pre-release. `W = 1` (and single-process worlds)
+//! bypasses the shard structures entirely and runs the serial code path, so
+//! its overhead is structurally zero.
+//!
+//! Wall-clock parallelism comes from composing shards with pre-release: under
+//! the thread backend the effective pre-release width is `max(par, W)`, so a
+//! `VIAMPI_SHARDS=W` run overlaps up to `W` compute stretches across cores
+//! without also setting `VIAMPI_PAR`. The per-round lookahead — how far past
+//! the committed minimum other shards may owe activity before being counted
+//! stalled (`sim.shard.stalls`) — comes from [`Engine::set_lookahead`], i.e.
+//! the device profile's minimum cross-rank influence latency. As with
+//! parallel mode, no routing, stall, or release policy can change results:
+//! the `(time, seq)` merge is the only commit gate.
 
 use crate::error::{BlockedProc, SimError};
 use crate::fiber::{FiberSet, FiberStats};
@@ -177,6 +206,16 @@ pub trait World: Sized + Send + 'static {
     /// Apply `event` at its due time. May schedule follow-up events and wake
     /// blocked processes through `api`.
     fn handle_event(&mut self, event: Self::Event, api: &mut Api<'_, Self::Event>);
+
+    /// Destination process of `event`, if it has one — the sharded engine
+    /// routes an event to its destination's shard wheel (a cross-shard
+    /// mailbox hop when scheduled from another shard). `None` (the default)
+    /// keeps the event on the scheduling shard. Routing is purely
+    /// structural: the merge order is the global `(time, seq)` total order,
+    /// so any routing choice produces byte-identical results.
+    fn event_dst(_event: &Self::Event) -> Option<ProcId> {
+        None
+    }
 }
 
 /// Scheduling capabilities handed to event handlers and world accessors.
@@ -184,6 +223,12 @@ pub struct Api<'a, E> {
     now: SimTime,
     queue: &'a mut EventQueue<E>,
     wakes: &'a mut Vec<ProcId>,
+    /// Sharded-mode scheduling state (`None` in the serial engine, in which
+    /// case `queue` is authoritative).
+    shard: Option<&'a mut ShardSched<E>>,
+    /// Event-destination extractor ([`World::event_dst`]) used by the
+    /// sharded router; ignored in serial mode.
+    dst_of: fn(&E) -> Option<ProcId>,
 }
 
 impl<'a, E> Api<'a, E> {
@@ -193,16 +238,30 @@ impl<'a, E> Api<'a, E> {
         self.now
     }
 
+    /// File `event` at `at`: straight onto the global queue in serial mode,
+    /// or through the shard router (global sequence stamp, destination
+    /// shard's wheel, mailbox hop when cross-shard).
+    #[inline]
+    fn push(&mut self, at: SimTime, event: E) {
+        match &mut self.shard {
+            Some(ss) => {
+                let dst = (self.dst_of)(&event);
+                ss.route(at, event, dst);
+            }
+            None => self.queue.push(at, event),
+        }
+    }
+
     /// Schedule `event` to fire `after` from now.
     #[inline]
     pub fn schedule(&mut self, after: SimDuration, event: E) {
-        self.queue.push(self.now + after, event);
+        self.push(self.now + after, event);
     }
 
     /// Schedule `event` at an absolute time (clamped to now if in the past).
     #[inline]
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
-        self.queue.push(at.max(self.now), event);
+        self.push(at.max(self.now), event);
     }
 
     /// Mark a blocked process runnable at the current virtual time. Waking a
@@ -359,6 +418,147 @@ impl ReadyHeap {
     }
 }
 
+/// Scheduling state of the sharded conservative mode (see the module docs):
+/// per-shard timing wheels and ready heaps under one global sequence
+/// counter, joined by per-(src,dst) mailboxes. Lives inside [`Inner`] —
+/// every mutation happens under the engine lock, so the W-way merge commits
+/// in exactly the serial total order.
+struct ShardSched<E> {
+    /// Home shard of each process (contiguous partition: `pid * W / n`).
+    shard_of: Vec<usize>,
+    /// One timing wheel per shard; pushed via `push_with_seq` with globally
+    /// assigned sequence numbers.
+    wheels: Vec<EventQueue<E>>,
+    /// One ready heap per shard.
+    readys: Vec<ReadyHeap>,
+    /// SPSC mailboxes, indexed `src * W + dst`, each FIFO in global-seq
+    /// order. A mailbox front is *not* a time minimum (a later send can be
+    /// due earlier), so mailboxes are always fully drained before any
+    /// scheduling inspection — never peeked.
+    mail: Vec<std::collections::VecDeque<(SimTime, u64, E)>>,
+    /// Events currently sitting in mailboxes.
+    mail_len: usize,
+    /// High-water mark of `mail_len` (`sim.shard.mailbox_peak`).
+    mailbox_peak: usize,
+    /// Global event sequence counter (the serial queue's insertion order).
+    next_seq: u64,
+    /// Shard context of the executing event handler or process; newly
+    /// scheduled events without a destination stay on this shard.
+    cur: usize,
+    /// Total entries across the per-shard ready heaps, and its peak.
+    ready_len: usize,
+    ready_peak: usize,
+    /// LBTS merge rounds taken (`sim.shard.lbts_rounds`).
+    lbts_rounds: u64,
+    /// Events routed across shards (`sim.shard.cross_sends`).
+    cross_sends: u64,
+    /// Shards observed owing no activity inside the lookahead horizon at a
+    /// grant (`sim.shard.stalls`).
+    stalls: u64,
+}
+
+impl<E> ShardSched<E> {
+    fn new(n: usize, w: usize) -> Self {
+        ShardSched {
+            shard_of: (0..n).map(|pid| pid * w / n).collect(),
+            wheels: (0..w).map(|_| EventQueue::with_capacity(64)).collect(),
+            readys: (0..w)
+                .map(|_| ReadyHeap::with_capacity(n / w + 1))
+                .collect(),
+            mail: (0..w * w)
+                .map(|_| std::collections::VecDeque::new())
+                .collect(),
+            mail_len: 0,
+            mailbox_peak: 0,
+            next_seq: 0,
+            cur: 0,
+            ready_len: 0,
+            ready_peak: 0,
+            lbts_rounds: 0,
+            cross_sends: 0,
+            stalls: 0,
+        }
+    }
+
+    /// Stamp `event` with the next global sequence number and file it on
+    /// `dst`'s shard wheel — directly when that is the current shard,
+    /// through the (cur → dst) mailbox otherwise. `None` destinations stay
+    /// on the current shard.
+    fn route(&mut self, at: SimTime, event: E, dst: Option<ProcId>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let to = dst.map_or(self.cur, |pid| self.shard_of[pid]);
+        if to == self.cur {
+            self.wheels[to].push_with_seq(at, seq, event);
+        } else {
+            self.cross_sends += 1;
+            self.mail[self.cur * self.wheels.len() + to].push_back((at, seq, event));
+            self.mail_len += 1;
+            if self.mail_len > self.mailbox_peak {
+                self.mailbox_peak = self.mail_len;
+            }
+        }
+    }
+
+    /// Flush every mailbox into its destination wheel, in fixed (src, dst)
+    /// order. Must run before any wheel inspection; the pop order is
+    /// independent of drain timing because wheels order by the full
+    /// `(time, seq)` key at every level.
+    fn drain_mail(&mut self) {
+        if self.mail_len == 0 {
+            return;
+        }
+        let w = self.wheels.len();
+        for src in 0..w {
+            for dst in 0..w {
+                let mb = &mut self.mail[src * w + dst];
+                while let Some((at, seq, ev)) = mb.pop_front() {
+                    self.wheels[dst].push_with_seq(at, seq, ev);
+                }
+            }
+        }
+        self.mail_len = 0;
+    }
+
+    /// Earliest pending event across all wheels: its `(time, seq)` key and
+    /// owning shard. Mailboxes must already be drained.
+    fn min_event(&self) -> Option<(SimTime, u64, usize)> {
+        debug_assert_eq!(self.mail_len, 0, "inspected wheels with mail pending");
+        let mut best: Option<(SimTime, u64, usize)> = None;
+        for (s, wq) in self.wheels.iter().enumerate() {
+            if let Some((t, seq)) = wq.peek_key() {
+                if best.is_none_or(|(bt, bs, _)| (t, seq) < (bt, bs)) {
+                    best = Some((t, seq, s));
+                }
+            }
+        }
+        best
+    }
+
+    /// Earliest ready process across all shard heaps: its heap key and
+    /// owning shard.
+    fn min_ready(&self) -> Option<(SimTime, u64, ProcId, usize)> {
+        let mut best: Option<(SimTime, u64, ProcId, usize)> = None;
+        for (s, rh) in self.readys.iter().enumerate() {
+            if let Some((t, k, p)) = rh.peek() {
+                if best.is_none_or(|(bt, bk, bp, _)| (t, k, p) < (bt, bk, bp)) {
+                    best = Some((t, k, p, s));
+                }
+            }
+        }
+        best
+    }
+
+    /// File `pid` on its home shard's ready heap.
+    fn push_ready(&mut self, clock: SimTime, key: u64, pid: ProcId) {
+        self.readys[self.shard_of[pid]].push(clock, key, pid);
+        self.ready_len += 1;
+        if self.ready_len > self.ready_peak {
+            self.ready_peak = self.ready_len;
+        }
+    }
+}
+
 struct Inner<W: World> {
     world: W,
     queue: EventQueue<W::Event>,
@@ -396,6 +596,10 @@ struct Inner<W: World> {
     /// Scheduling decisions taken by the sm backend (driver loop plus
     /// inline direct-handoff decisions). Always 0 under the thread backend.
     sm_polls: u64,
+    /// Sharded-mode scheduling state (`None` ⟺ serial; see the module
+    /// docs). When set, `queue` and `ready` above stay empty and the
+    /// per-shard wheels/heaps are authoritative.
+    shard: Option<ShardSched<W::Event>>,
 }
 
 impl<W: World> Inner<W> {
@@ -406,19 +610,47 @@ impl<W: World> Inner<W> {
     /// ties against processes, and processes order by `(clock, last_run,
     /// pid)`.
     #[inline]
-    fn can_self_resume(&self, pid: ProcId, clock: SimTime) -> bool {
+    fn can_self_resume(&mut self, pid: ProcId, clock: SimTime) -> bool {
         if self.poisoned.is_some() {
             return false;
         }
-        if let Some(te) = self.queue.peek_time() {
-            if te <= clock {
-                return false;
+        let key = sched_key(self.sched_seed, self.procs[pid].last_run, pid, clock);
+        match &mut self.shard {
+            Some(ss) => {
+                // Mailboxes hide pending events from the wheel heads; drain
+                // before inspecting (fronts are not time minima).
+                ss.drain_mail();
+                if let Some((te, _, _)) = ss.min_event() {
+                    if te <= clock {
+                        return false;
+                    }
+                }
+                match ss.min_ready() {
+                    Some((t, k, p, _)) => (clock, key, pid) < (t, k, p),
+                    None => true,
+                }
+            }
+            None => {
+                if let Some(te) = self.queue.peek_time() {
+                    if te <= clock {
+                        return false;
+                    }
+                }
+                match self.ready.peek() {
+                    Some(head) => (clock, key, pid) < head,
+                    None => true,
+                }
             }
         }
-        let key = sched_key(self.sched_seed, self.procs[pid].last_run, pid, clock);
-        match self.ready.peek() {
-            Some(head) => (clock, key, pid) < head,
-            None => true,
+    }
+
+    /// File `pid` on the ready structure of the active mode (the global
+    /// heap, or its home shard's heap).
+    #[inline]
+    fn push_ready(&mut self, clock: SimTime, key: u64, pid: ProcId) {
+        match &mut self.shard {
+            Some(ss) => ss.push_ready(clock, key, pid),
+            None => self.ready.push(clock, key, pid),
         }
     }
 
@@ -451,6 +683,9 @@ enum Decision {
 /// the ready heap. In parallel mode the grant also pre-releases eligible
 /// compute-parked processes inside the lookahead window.
 fn decide<W: World>(g: &mut Inner<W>, shared: &Shared<W>) -> Decision {
+    if g.shard.is_some() {
+        return decide_sharded(g, shared);
+    }
     loop {
         if g.poisoned.is_some() {
             return Decision::Idle;
@@ -464,6 +699,8 @@ fn decide<W: World>(g: &mut Inner<W>, shared: &Shared<W>) -> Decision {
                     now: t,
                     queue: &mut g.queue,
                     wakes: &mut wakes,
+                    shard: None,
+                    dst_of: W::event_dst,
                 };
                 g.world.handle_event(ev, &mut api);
             }
@@ -491,32 +728,134 @@ fn decide<W: World>(g: &mut Inner<W>, shared: &Shared<W>) -> Decision {
             g.promotions += 1;
         }
         g.running = Some(pid);
-        if shared.par > 1 {
+        if shared.width > 1 {
             pre_release(g, shared, pid);
         }
         return Decision::Run(pid);
     }
 }
 
-/// Release up to `par - 1` compute-parked ready processes whose clocks lie
+/// The sharded scheduling step — one LBTS merge round per call. Identical
+/// commit semantics to the serial [`decide`]: drain mailboxes, compare the W
+/// wheel heads and W ready heads by their full keys, apply every event due
+/// at or before the earliest ready process (events win ties), then grant the
+/// token to the global-minimum ready process and count shards stalled past
+/// the lookahead horizon.
+fn decide_sharded<W: World>(g: &mut Inner<W>, shared: &Shared<W>) -> Decision {
+    g.shard.as_mut().expect("sharded decide").lbts_rounds += 1;
+    loop {
+        if g.poisoned.is_some() {
+            return Decision::Idle;
+        }
+        let ss = g.shard.as_mut().expect("sharded decide");
+        ss.drain_mail();
+        let ready_min = ss.min_ready();
+        let limit = ready_min.map_or(SimTime(u64::MAX), |(t, _, _, _)| t);
+        if let Some((te, _, s)) = ss.min_event() {
+            if te <= limit {
+                let (t, ev) = ss.wheels[s].pop().expect("peeked wheel head");
+                ss.cur = s;
+                g.events_processed += 1;
+                let mut wakes = std::mem::take(&mut g.wake_scratch);
+                {
+                    let inner = &mut *g;
+                    let mut api = Api {
+                        now: t,
+                        queue: &mut inner.queue,
+                        wakes: &mut wakes,
+                        shard: inner.shard.as_mut(),
+                        dst_of: W::event_dst,
+                    };
+                    inner.world.handle_event(ev, &mut api);
+                }
+                apply_wakes(g, &shared.clocks, t, &wakes);
+                wakes.clear();
+                g.wake_scratch = wakes;
+                continue;
+            }
+        }
+        let Some((t, _, pid, s)) = ready_min else {
+            return Decision::Idle;
+        };
+        ss.readys[s].pop();
+        ss.ready_len -= 1;
+        ss.cur = s;
+        // Count shards with no activity due inside the lookahead horizon of
+        // this grant: on real parallel hardware these are the ones an LBTS
+        // barrier would leave idle this round. Pure observability.
+        let horizon = SimTime(t.0.saturating_add(shared.lookahead_ns));
+        for (i, (wq, rh)) in ss.wheels.iter().zip(&ss.readys).enumerate() {
+            if i == s {
+                continue;
+            }
+            let bound = match (wq.peek_key(), rh.peek()) {
+                (Some((tw, _)), Some((tr, _, _))) => tw.min(tr),
+                (Some((tw, _)), None) => tw,
+                (None, Some((tr, _, _))) => tr,
+                (None, None) => continue,
+            };
+            if bound > horizon {
+                ss.stalls += 1;
+            }
+        }
+        debug_assert_eq!(g.procs[pid].state, ProcState::Ready);
+        g.pass += 1;
+        let pass = g.pass;
+        let promoted = {
+            let slot = &mut g.procs[pid];
+            slot.state = ProcState::Running;
+            if slot.site == ParkSite::Voluntary {
+                slot.last_run = pass;
+            }
+            std::mem::replace(&mut slot.pre, false)
+        };
+        if promoted {
+            g.pre_live -= 1;
+            g.promotions += 1;
+        }
+        g.running = Some(pid);
+        if shared.width > 1 {
+            pre_release(g, shared, pid);
+        }
+        return Decision::Run(pid);
+    }
+}
+
+/// Release up to `width - 1` compute-parked ready processes whose clocks lie
 /// within the token holder's lookahead window so they overlap their pure
 /// compute with the serial schedule. They stay in the ready heap and are
 /// promoted (committed) only when popped, so which processes are released —
 /// and the window size itself — can never change results.
 fn pre_release<W: World>(g: &mut Inner<W>, shared: &Shared<W>, holder: ProcId) {
-    let budget = shared.par.saturating_sub(1 + g.pre_live);
+    let budget = shared.width.saturating_sub(1 + g.pre_live);
     if budget == 0 {
         return;
     }
     let horizon = SimTime(g.procs[holder].clock.0.saturating_add(shared.lookahead_ns));
     let mut picks = std::mem::take(&mut g.pre_scratch);
     picks.clear();
-    for &(t, _, p) in g.ready.iter() {
-        if picks.len() >= budget {
-            break;
+    match &g.shard {
+        Some(ss) => {
+            'scan: for rh in &ss.readys {
+                for &(t, _, p) in rh.iter() {
+                    if picks.len() >= budget {
+                        break 'scan;
+                    }
+                    if t <= horizon && !g.procs[p].pre && g.procs[p].site == ParkSite::Compute {
+                        picks.push(p);
+                    }
+                }
+            }
         }
-        if t <= horizon && !g.procs[p].pre && g.procs[p].site == ParkSite::Compute {
-            picks.push(p);
+        None => {
+            for &(t, _, p) in g.ready.iter() {
+                if picks.len() >= budget {
+                    break;
+                }
+                if t <= horizon && !g.procs[p].pre && g.procs[p].site == ParkSite::Compute {
+                    picks.push(p);
+                }
+            }
         }
     }
     for &p in &picks {
@@ -587,6 +926,12 @@ struct Shared<W: World> {
     /// Maximum concurrently-executing processes (1 = serial; >1 enables
     /// conservative pre-release, from `VIAMPI_PAR` / [`Engine::set_par`]).
     par: usize,
+    /// Effective pre-release width: `max(par, shards)` under the thread
+    /// backend (a sharded run overlaps up to one process per shard without
+    /// also setting `VIAMPI_PAR`), `1` under sm (single OS thread).
+    width: usize,
+    /// Effective shard count of the run (1 = serial scheduling structures).
+    shards: usize,
     /// Pre-release window in nanoseconds past the token holder's clock.
     lookahead_ns: u64,
     /// Per-process deferred compute time (nanoseconds) not yet applied to
@@ -729,7 +1074,7 @@ impl<W: World> ProcCtx<W> {
         let key = sched_key(g.sched_seed, g.procs[self.pid].last_run, self.pid, clock);
         g.procs[self.pid].state = ProcState::Ready;
         g.procs[self.pid].site = ParkSite::Compute;
-        g.ready.push(clock, key, self.pid);
+        g.push_ready(clock, key, self.pid);
         self.relinquish(g);
     }
 
@@ -750,7 +1095,7 @@ impl<W: World> ProcCtx<W> {
         let key = sched_key(g.sched_seed, g.procs[self.pid].last_run, self.pid, clock);
         g.procs[self.pid].state = ProcState::Ready;
         g.procs[self.pid].site = ParkSite::Voluntary;
-        g.ready.push(clock, key, self.pid);
+        g.push_ready(clock, key, self.pid);
         self.relinquish(g);
     }
 
@@ -761,12 +1106,17 @@ impl<W: World> ProcCtx<W> {
         let mut g = self.shared.inner.lock();
         let now = g.procs[self.pid].clock;
         let inner = &mut *g;
+        if let Some(ss) = &mut inner.shard {
+            ss.cur = ss.shard_of[self.pid];
+        }
         let mut wakes = std::mem::take(&mut inner.wake_scratch);
         let r = {
             let mut api = Api {
                 now,
                 queue: &mut inner.queue,
                 wakes: &mut wakes,
+                shard: inner.shard.as_mut(),
+                dst_of: W::event_dst,
             };
             f(&mut inner.world, &mut api)
         };
@@ -786,12 +1136,17 @@ impl<W: World> ProcCtx<W> {
             let mut g = self.shared.inner.lock();
             let now = g.procs[self.pid].clock;
             let inner = &mut *g;
+            if let Some(ss) = &mut inner.shard {
+                ss.cur = ss.shard_of[self.pid];
+            }
             let mut wakes = std::mem::take(&mut inner.wake_scratch);
             let out = {
                 let mut api = Api {
                     now,
                     queue: &mut inner.queue,
                     wakes: &mut wakes,
+                    shard: inner.shard.as_mut(),
+                    dst_of: W::event_dst,
                 };
                 f(&mut inner.world, &mut api)
             };
@@ -910,7 +1265,8 @@ fn apply_wakes<W: World>(
             slot.clock = slot.clock.max(now);
             clocks[pid].store(slot.clock.0, Ordering::Release);
             let key = sched_key(inner.sched_seed, slot.last_run, pid, slot.clock);
-            inner.ready.push(slot.clock, key, pid);
+            let clock = slot.clock;
+            inner.push_ready(clock, key, pid);
         }
     }
 }
@@ -981,6 +1337,7 @@ pub struct Engine<W: World> {
     bodies: Vec<(String, ProcBody<W>)>,
     sched_seed: Option<u64>,
     par: Option<usize>,
+    shards: Option<usize>,
     coalesce: Option<bool>,
     lookahead: SimDuration,
     backend: Option<Backend>,
@@ -994,6 +1351,7 @@ impl<W: World> Engine<W> {
             bodies: Vec::new(),
             sched_seed: None,
             par: None,
+            shards: None,
             coalesce: None,
             lookahead: SimDuration::ZERO,
             backend: None,
@@ -1014,6 +1372,16 @@ impl<W: World> Engine<W> {
     /// runs serially. Results are byte-identical at any value.
     pub fn set_par(&mut self, par: Option<usize>) {
         self.par = par;
+    }
+
+    /// Set the shard count of the sharded conservative mode (see the module
+    /// docs). `None` (the default) falls back to the `VIAMPI_SHARDS`
+    /// environment variable; `1` — or any world of fewer than two processes
+    /// — runs the serial scheduling structures. The effective count is
+    /// clamped to the process count. Results are byte-identical at any
+    /// value.
+    pub fn set_shards(&mut self, shards: Option<usize>) {
+        self.shards = shards;
     }
 
     /// Enable/disable compute coalescing explicitly. `None` (the default)
@@ -1066,13 +1434,49 @@ impl<W: World> Engine<W> {
                  use VIAMPI_ENGINE=threads"
             );
         }
-        let mut ready = ReadyHeap::with_capacity(n);
+        // Resolve the shard count: explicit setting, then `VIAMPI_SHARDS`,
+        // then serial. Worlds of fewer than two processes cannot shard.
+        let req_shards = self
+            .shards
+            .or_else(|| {
+                std::env::var("VIAMPI_SHARDS")
+                    .ok()
+                    .and_then(|s| s.trim().parse::<usize>().ok())
+            })
+            .unwrap_or(1)
+            .max(1);
+        let shards = if n >= 2 && req_shards >= 2 {
+            req_shards.min(n)
+        } else {
+            1
+        };
+        // The sm backend multiplexes every process onto this thread, so
+        // pre-release cannot overlap anything (same clamp as `par`).
+        let par = if backend == Backend::Sm {
+            1
+        } else {
+            self.par
+                .or_else(|| {
+                    std::env::var("VIAMPI_PAR")
+                        .ok()
+                        .and_then(|s| s.trim().parse::<usize>().ok())
+                })
+                .unwrap_or(1)
+                .max(1)
+        };
+        let width = if backend == Backend::Sm {
+            1
+        } else {
+            par.max(shards)
+        };
+        let mut ready = ReadyHeap::with_capacity(if shards > 1 { 0 } else { n });
+        let mut shard = (shards > 1).then(|| ShardSched::new(n, shards));
         for pid in 0..n {
-            ready.push(
-                SimTime::ZERO,
-                sched_key(self.sched_seed, 0, pid, SimTime::ZERO),
-                pid,
-            );
+            let key = sched_key(self.sched_seed, 0, pid, SimTime::ZERO);
+            match &mut shard {
+                Some(ss) => ss.push_ready(SimTime::ZERO, key, pid),
+                None => ready.push(SimTime::ZERO, key, pid),
+            }
         }
         let shared = Arc::new(Shared {
             inner: Mutex::new(Inner {
@@ -1105,6 +1509,7 @@ impl<W: World> Engine<W> {
                 pre_scratch: Vec::new(),
                 sched_seed: self.sched_seed,
                 sm_polls: 0,
+                shard,
             }),
             engine_cv: Condvar::new(),
             gates: (0..n).map(|_| Arc::new(Gate::new())).collect(),
@@ -1113,22 +1518,9 @@ impl<W: World> Engine<W> {
             coalesce: self
                 .coalesce
                 .unwrap_or_else(|| std::env::var_os("VIAMPI_NO_COALESCE").is_none()),
-            // The sm backend clamps parallel mode to serial: its processes
-            // all live on this thread, so pre-releasing could not overlap
-            // anything — and parallel mode is byte-identical at any width,
-            // so the clamp cannot change results.
-            par: if backend == Backend::Sm {
-                1
-            } else {
-                self.par
-                    .or_else(|| {
-                        std::env::var("VIAMPI_PAR")
-                            .ok()
-                            .and_then(|s| s.trim().parse::<usize>().ok())
-                    })
-                    .unwrap_or(1)
-                    .max(1)
-            },
+            par,
+            width,
+            shards,
             lookahead_ns: self.lookahead.as_nanos(),
             deferred: (0..n).map(|_| AtomicU64::new(0)).collect(),
             pre_flag: (0..n).map(|_| AtomicBool::new(false)).collect(),
@@ -1254,6 +1646,7 @@ impl<W: World> Engine<W> {
         let coalesce_advances = shared.coalesce_advances.load(Ordering::Relaxed);
         let coalesce_flushes = shared.coalesce_flushes.load(Ordering::Relaxed);
         let par_workers = shared.par as u64;
+        let shard_workers = shared.shards as u64;
         let sm_stats: FiberStats = shared.sm.as_ref().map(|fs| fs.stats()).unwrap_or_default();
         let inner = shared.inner.into_inner();
 
@@ -1273,7 +1666,32 @@ impl<W: World> Engine<W> {
             reg.add(em::HANDOFFS, inner.pass);
             reg.add(em::EVENTS, inner.events_processed);
             reg.add(em::FAST_RESUMES, inner.fast_resumes);
-            reg.add(em::EVENTS_SCHEDULED, inner.queue.scheduled_total());
+            // In sharded mode the per-shard wheels are authoritative: fold
+            // their stats component-wise and take the global seq counter as
+            // the scheduled-events total.
+            let (scheduled, ws, queue_peak, ready_peak) = match &inner.shard {
+                Some(ss) => {
+                    let mut ws = crate::queue::WheelStats::default();
+                    let mut peak = 0usize;
+                    for wq in &ss.wheels {
+                        let s = wq.wheel_stats();
+                        ws.push_due += s.push_due;
+                        ws.push_l0 += s.push_l0;
+                        ws.push_l1 += s.push_l1;
+                        ws.push_overflow += s.push_overflow;
+                        ws.cascades += s.cascades;
+                        peak += wq.peak();
+                    }
+                    (ss.next_seq, ws, peak, ss.ready_peak)
+                }
+                None => (
+                    inner.queue.scheduled_total(),
+                    inner.queue.wheel_stats(),
+                    inner.queue.peak(),
+                    inner.ready.peak,
+                ),
+            };
+            reg.add(em::EVENTS_SCHEDULED, scheduled);
             reg.add(em::COALESCE_ADVANCES, coalesce_advances);
             reg.add(em::COALESCE_FLUSHES, coalesce_flushes);
             reg.add(em::DIRECT_HANDOFFS, inner.direct_handoffs);
@@ -1283,15 +1701,21 @@ impl<W: World> Engine<W> {
             reg.add(em::SM_POLLS, inner.sm_polls);
             reg.add(em::SM_PARKS, sm_stats.parks);
             reg.add(em::SM_RESUMES, sm_stats.starts + sm_stats.resumes);
-            let ws = inner.queue.wheel_stats();
+            if let Some(ss) = &inner.shard {
+                reg.add(em::SHARD_LBTS_ROUNDS, ss.lbts_rounds);
+                reg.add(em::SHARD_CROSS_SENDS, ss.cross_sends);
+                reg.add(em::SHARD_STALLS, ss.stalls);
+                reg.gauge_max(em::SHARD_MAILBOX_PEAK, ss.mailbox_peak as u64);
+            }
             reg.add(em::WHEEL_DUE, ws.push_due);
             reg.add(em::WHEEL_L0, ws.push_l0);
             reg.add(em::WHEEL_L1, ws.push_l1);
             reg.add(em::WHEEL_OVERFLOW, ws.push_overflow);
             reg.add(em::WHEEL_CASCADES, ws.cascades);
-            reg.gauge_max(em::READY_PEAK, inner.ready.peak as u64);
-            reg.gauge_max(em::QUEUE_PEAK, inner.queue.peak() as u64);
+            reg.gauge_max(em::READY_PEAK, ready_peak as u64);
+            reg.gauge_max(em::QUEUE_PEAK, queue_peak as u64);
             reg.gauge_max(em::PAR_WORKERS, par_workers);
+            reg.gauge_max(em::SHARD_WORKERS, shard_workers);
             reg.gauge_max(em::SM_RANK_MEM_PEAK, sm_stats.stack_bytes_peak);
             reg.snapshot()
         };
@@ -1497,6 +1921,12 @@ mod tests {
                         api.wake(pid);
                     }
                 }
+            }
+        }
+
+        fn event_dst(ev: &MailEvent) -> Option<ProcId> {
+            match ev {
+                MailEvent::Deliver { to, .. } => Some(*to),
             }
         }
     }
@@ -1940,10 +2370,21 @@ mod tests {
         par: Option<usize>,
         lookahead: SimDuration,
     ) -> (Vec<String>, SimTime, u64, Vec<SimTime>) {
+        modes_workload_full(backend, coalesce, par, None, lookahead)
+    }
+
+    fn modes_workload_full(
+        backend: Option<Backend>,
+        coalesce: Option<bool>,
+        par: Option<usize>,
+        shards: Option<usize>,
+        lookahead: SimDuration,
+    ) -> (Vec<String>, SimTime, u64, Vec<SimTime>) {
         let mut eng = Engine::new(MailWorld::new(5));
         eng.set_backend(backend);
         eng.set_coalesce(coalesce);
         eng.set_par(par);
+        eng.set_shards(shards);
         eng.set_lookahead(lookahead);
         for s in 0..4usize {
             eng.spawn(format!("s{s}"), move |ctx| {
@@ -2058,6 +2499,157 @@ mod tests {
     }
 
     // ------------------------------------------------------------------
+    // Sharded conservative mode
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn sharded_matches_serial_at_any_width() {
+        let serial = modes_workload_full(None, None, None, Some(1), SimDuration::ZERO);
+        for w in [2usize, 3, 4, 8] {
+            let sharded = modes_workload_full(None, None, None, Some(w), SimDuration::micros(4));
+            assert_eq!(sharded, serial, "VIAMPI_SHARDS={w} must be byte-identical");
+        }
+    }
+
+    #[test]
+    fn sharded_composes_with_coalescing_and_par() {
+        let serial = modes_workload_full(None, Some(true), Some(1), Some(1), SimDuration::ZERO);
+        let legs = [
+            modes_workload_full(None, Some(false), Some(1), Some(2), SimDuration::micros(4)),
+            modes_workload_full(None, Some(true), Some(2), Some(2), SimDuration::micros(4)),
+            modes_workload_full(None, Some(false), Some(4), Some(4), SimDuration::micros(4)),
+        ];
+        for (i, leg) in legs.iter().enumerate() {
+            assert_eq!(leg, &serial, "composition leg {i} must be byte-identical");
+        }
+    }
+
+    #[test]
+    fn shard_counters_populate_and_serial_stays_zero() {
+        let run = |shards: usize| {
+            let mut eng = Engine::new(MailWorld::new(4));
+            eng.set_shards(Some(shards));
+            eng.set_lookahead(SimDuration::micros(2));
+            for pid in 0..3usize {
+                eng.spawn(format!("p{pid}"), move |ctx| {
+                    for i in 0..10u64 {
+                        ctx.advance(SimDuration::nanos(70 * (pid as u64 + 1)));
+                        send(&ctx, 3, pid as u64 * 100 + i, SimDuration::micros(1));
+                    }
+                });
+            }
+            eng.spawn("sink", |ctx| {
+                for _ in 0..30 {
+                    recv(&ctx);
+                }
+            });
+            eng.run().unwrap().1
+        };
+        let sharded = run(2);
+        assert!(sharded.metrics.get("sim.shard.lbts_rounds").unwrap() > 0);
+        assert!(
+            sharded.metrics.get("sim.shard.cross_sends").unwrap() > 0,
+            "pids 0–1 live on shard 0 and the sink on shard 1, so deliveries cross"
+        );
+        assert!(sharded.metrics.get("sim.shard.mailbox_peak").unwrap() > 0);
+        assert_eq!(sharded.metrics.get("sim.shard.workers"), Some(2));
+        let serial = run(1);
+        assert_eq!(serial.metrics.get("sim.shard.lbts_rounds"), Some(0));
+        assert_eq!(serial.metrics.get("sim.shard.cross_sends"), Some(0));
+        assert_eq!(serial.metrics.get("sim.shard.stalls"), Some(0));
+        assert_eq!(serial.metrics.get("sim.shard.mailbox_peak"), Some(0));
+        assert_eq!(serial.metrics.get("sim.shard.workers"), Some(1));
+        // The scheduler-proper observables are shard-independent.
+        assert_eq!(sharded.end_time, serial.end_time);
+        assert_eq!(sharded.events_processed, serial.events_processed);
+        assert_eq!(sharded.proc_finish, serial.proc_finish);
+        assert_eq!(
+            sharded.metrics.get("sim.events_scheduled"),
+            serial.metrics.get("sim.events_scheduled"),
+            "global sequence counter must reproduce the serial insertion count"
+        );
+    }
+
+    #[test]
+    fn sharding_alone_enables_pre_release_under_threads() {
+        let mut eng = Engine::new(MailWorld::new(4));
+        eng.set_backend(Some(Backend::Threads));
+        eng.set_shards(Some(4));
+        eng.set_par(Some(1));
+        eng.set_lookahead(SimDuration::micros(100));
+        for pid in 0..4usize {
+            eng.spawn(format!("p{pid}"), move |ctx| {
+                for _ in 0..50 {
+                    ctx.advance(SimDuration::nanos(40));
+                    ctx.with_world(|_, _| {});
+                }
+            });
+        }
+        let (_, out) = eng.run().unwrap();
+        assert!(
+            out.metrics.get("sim.par.pre_releases").unwrap_or(0) > 0,
+            "effective width is max(par, shards) = 4"
+        );
+        assert_eq!(
+            out.metrics.get("sim.par.pre_releases"),
+            out.metrics.get("sim.par.promotions"),
+        );
+        assert_eq!(out.metrics.get("sim.shard.workers"), Some(4));
+    }
+
+    #[test]
+    fn sharded_deadlock_and_panic_teardown() {
+        let mut eng = Engine::new(MailWorld::new(2));
+        eng.set_shards(Some(2));
+        eng.spawn("a", |ctx| {
+            recv(&ctx); // nobody ever sends
+        });
+        eng.spawn("b", |ctx| {
+            ctx.advance(SimDuration::micros(1));
+        });
+        match eng.run() {
+            Err(SimError::Deadlock { blocked, .. }) => {
+                assert_eq!(blocked.len(), 1);
+                assert_eq!(blocked[0].name, "a");
+            }
+            other => panic!("expected deadlock, got {:?}", other.map(|(_, o)| o)),
+        }
+
+        let mut eng = Engine::new(MailWorld::new(3));
+        eng.set_shards(Some(3));
+        eng.spawn("victim", |ctx| {
+            ctx.advance(SimDuration::micros(1));
+            panic!("boom in shard");
+        });
+        eng.spawn("waiter", |ctx| {
+            recv(&ctx);
+        });
+        eng.spawn("sleeper", |ctx| {
+            ctx.advance(SimDuration::millis(1000));
+        });
+        match eng.run() {
+            Err(SimError::ProcPanic { name, message }) => {
+                assert_eq!(name, "victim");
+                assert!(message.contains("boom in shard"), "got {message:?}");
+            }
+            other => panic!("expected panic error, got {:?}", other.map(|(_, o)| o)),
+        }
+    }
+
+    #[test]
+    fn shard_request_is_clamped_to_world_size() {
+        let mut eng = Engine::new(MailWorld::new(1));
+        eng.set_shards(Some(8));
+        eng.spawn("lone", |ctx| ctx.advance(SimDuration::micros(1)));
+        let (_, out) = eng.run().unwrap();
+        assert_eq!(
+            out.metrics.get("sim.shard.workers"),
+            Some(1),
+            "a single-process world cannot shard"
+        );
+    }
+
+    // ------------------------------------------------------------------
     // Proc-state-machine (sm) backend
     // ------------------------------------------------------------------
 
@@ -2078,6 +2670,27 @@ mod tests {
                 modes_workload_on(Some(Backend::Threads), Some(false), None, SimDuration::ZERO);
             let sm = modes_workload_on(Some(Backend::Sm), Some(false), None, SimDuration::ZERO);
             assert_eq!(sm, threads, "sm × eager compute must be byte-identical");
+        }
+
+        #[test]
+        fn sharded_sm_matches_serial_and_threads() {
+            let serial = modes_workload_full(
+                Some(Backend::Threads),
+                None,
+                None,
+                Some(1),
+                SimDuration::ZERO,
+            );
+            for w in [2usize, 4] {
+                let sm = modes_workload_full(
+                    Some(Backend::Sm),
+                    None,
+                    None,
+                    Some(w),
+                    SimDuration::micros(4),
+                );
+                assert_eq!(sm, serial, "sm × shards={w} must be byte-identical");
+            }
         }
 
         #[test]

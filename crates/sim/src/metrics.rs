@@ -147,6 +147,9 @@ pub mod engine {
             SM_POLLS => "sim.sm.polls": "Scheduling decisions taken by the state-machine backend's driver paths",
             SM_PARKS => "sim.sm.parks": "Fiber suspensions under the state-machine backend",
             SM_RESUMES => "sim.sm.resumes": "Fiber activations (first starts and resumes) under the state-machine backend",
+            SHARD_LBTS_ROUNDS => "sim.shard.lbts_rounds": "Lower-bound-timestamp merge rounds taken by the sharded scheduler",
+            SHARD_CROSS_SENDS => "sim.shard.cross_sends": "Events routed across shards through SPSC mailboxes",
+            SHARD_STALLS => "sim.shard.stalls": "Shards observed blocked past the lookahead horizon during LBTS rounds",
             WHEEL_DUE => "sim.wheel.push_due": "Events merged straight into the sorted due buffer",
             WHEEL_L0 => "sim.wheel.push_l0": "Events filed in a level-0 wheel slot",
             WHEEL_L1 => "sim.wheel.push_l1": "Events filed in a level-1 wheel slot",
@@ -157,6 +160,8 @@ pub mod engine {
             READY_PEAK => "sim.ready_peak": "Peak ready-heap depth",
             QUEUE_PEAK => "sim.queue_peak": "Peak event-queue occupancy",
             PAR_WORKERS => "sim.par.workers": "Configured maximum concurrently-executing processes",
+            SHARD_MAILBOX_PEAK => "sim.shard.mailbox_peak": "Peak number of in-flight cross-shard mailbox events",
+            SHARD_WORKERS => "sim.shard.workers": "Effective shard count of the run (1 when serial)",
             SM_RANK_MEM_PEAK => "sim.sm.rank_mem_peak": "Largest per-rank fiber stack usage in bytes (state-machine backend)",
         }
         hists {}

@@ -8,7 +8,7 @@
 #   scripts/check.sh determinism [MODE]    # just the determinism suite,
 #                                          # MODE ∈ {fastpath (default),
 #                                          #         no-fastpath, par2, sm,
-#                                          #         multivi}
+#                                          #         shard, multivi}
 #   scripts/check.sh campaign [SECS]       # long timeboxed simcheck
 #                                          # campaign (default 600 s),
 #                                          # resuming the committed state
@@ -31,6 +31,7 @@ determinism_suite() {
         no-fastpath) export VIAMPI_NO_FASTPATH=1 ;;
         par2) export VIAMPI_PAR=2 ;;
         sm) export VIAMPI_ENGINE=sm ;;
+        shard) export VIAMPI_SHARDS=2 ;;
         multivi) filter="multivi" ;;
         *)
             echo "check.sh: unknown determinism mode '${1}'" >&2
@@ -87,6 +88,9 @@ echo "== determinism suite under the parallel engine (VIAMPI_PAR=2)"
 
 echo "== determinism suite under the state-machine backend (VIAMPI_ENGINE=sm)"
 (determinism_suite sm)
+
+echo "== determinism suite under the sharded engine (VIAMPI_SHARDS=2)"
+(determinism_suite shard)
 
 echo "== simcheck campaign frontier (timeboxed, resumes committed coverage)"
 campaign_stage 20
